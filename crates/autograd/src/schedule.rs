@@ -1,0 +1,219 @@
+//! Learning-rate schedules.
+//!
+//! DCRNN's reference implementation anneals its learning rate with a
+//! multi-step decay, and the paper's §5.3.3 follow-up shows that *scaling*
+//! the rate with the global batch (plus a warmup, per Goyal et al.) recovers
+//! most of the accuracy lost to large global batches. Schedules here are
+//! pure `epoch → lr` functions applied on top of any [`Optimizer`]
+//! (`optim::lr_for_global_batch` supplies the scaled base rate).
+
+use crate::optim::Optimizer;
+
+/// An epoch-indexed learning-rate schedule.
+pub trait LrSchedule {
+    /// The learning rate to use for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+
+    /// Convenience: set `opt`'s rate for `epoch`.
+    fn apply(&self, opt: &mut dyn Optimizer, epoch: usize) {
+        opt.set_lr(self.lr_at(epoch));
+    }
+}
+
+/// Constant rate (the identity schedule).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Multiply by `gamma` every `step_size` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    /// Initial rate.
+    pub base_lr: f32,
+    /// Epochs between decays.
+    pub step_size: usize,
+    /// Decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_size.max(1)) as i32)
+    }
+}
+
+/// Multiply by `gamma` at each listed milestone epoch — the schedule the
+/// DCRNN reference uses (milestones `[20, 30, 40, 50]`, γ = 0.1).
+#[derive(Debug, Clone)]
+pub struct MultiStepLr {
+    /// Initial rate.
+    pub base_lr: f32,
+    /// Epochs at which the rate decays (ascending).
+    pub milestones: Vec<usize>,
+    /// Decay factor.
+    pub gamma: f32,
+}
+
+impl MultiStepLr {
+    /// The DCRNN reference schedule on top of `base_lr`.
+    pub fn dcrnn(base_lr: f32) -> Self {
+        MultiStepLr {
+            base_lr,
+            milestones: vec![20, 30, 40, 50],
+            gamma: 0.1,
+        }
+    }
+}
+
+impl LrSchedule for MultiStepLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.gamma.powi(decays as i32)
+    }
+}
+
+/// Cosine annealing from `base_lr` down to `min_lr` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineLr {
+    /// Initial rate.
+    pub base_lr: f32,
+    /// Final rate.
+    pub min_lr: f32,
+    /// Annealing length.
+    pub total_epochs: usize,
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs)) as f32 / self.total_epochs.max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cos
+    }
+}
+
+/// Linear warmup for `warmup_epochs` epochs, then defer to `inner` (indexed
+/// from the end of warmup) — the Goyal et al. recipe for large global
+/// batches that §5.3.3 alludes to.
+pub struct WarmupLr<S: LrSchedule> {
+    /// Epochs of linear ramp from `start_frac × lr_at(0)` to `lr_at(0)`.
+    pub warmup_epochs: usize,
+    /// Ramp starting fraction (Goyal et al. use ≈ 1/world).
+    pub start_frac: f32,
+    /// Schedule after warmup.
+    pub inner: S,
+}
+
+impl<S: LrSchedule> LrSchedule for WarmupLr<S> {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let target = self.inner.lr_at(0);
+        if epoch < self.warmup_epochs {
+            let t = (epoch + 1) as f32 / self.warmup_epochs as f32;
+            target * (self.start_frac + (1.0 - self.start_frac) * t)
+        } else {
+            self.inner.lr_at(epoch - self.warmup_epochs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Param;
+    use crate::optim::Sgd;
+    use st_tensor::Tensor;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+    }
+
+    #[test]
+    fn step_decays_geometrically() {
+        let s = StepLr {
+            base_lr: 1.0,
+            step_size: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn multistep_matches_dcrnn_reference() {
+        let s = MultiStepLr::dcrnn(0.01);
+        assert!((s.lr_at(19) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(20) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(35) - 1e-4).abs() < 1e-10);
+        assert!((s.lr_at(55) - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_hits_endpoints() {
+        let s = CosineLr {
+            base_lr: 0.1,
+            min_lr: 0.001,
+            total_epochs: 30,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(30) - 0.001).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.001).abs() < 1e-6, "clamped past the end");
+        // Monotone decreasing.
+        for e in 0..30 {
+            assert!(s.lr_at(e + 1) <= s.lr_at(e) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_defers() {
+        let s = WarmupLr {
+            warmup_epochs: 5,
+            start_frac: 0.1,
+            inner: ConstantLr(0.08), // e.g. 8× linear-scaled for 8 workers
+        };
+        assert!(s.lr_at(0) < 0.08 * 0.35);
+        for e in 0..4 {
+            assert!(s.lr_at(e + 1) > s.lr_at(e), "ramp must increase");
+        }
+        assert!((s.lr_at(5) - 0.08).abs() < 1e-7);
+        assert!((s.lr_at(40) - 0.08).abs() < 1e-7);
+    }
+
+    #[test]
+    fn apply_sets_optimizer_rate() {
+        let p = Param::new("w", Tensor::zeros([2]));
+        let mut opt = Sgd::new(vec![p], 1.0, 0.0);
+        let s = StepLr {
+            base_lr: 1.0,
+            step_size: 1,
+            gamma: 0.1,
+        };
+        s.apply(&mut opt, 2);
+        assert!((crate::optim::Optimizer::lr(&opt) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_composes_with_multistep() {
+        let s = WarmupLr {
+            warmup_epochs: 3,
+            start_frac: 0.25,
+            inner: MultiStepLr {
+                base_lr: 0.04,
+                milestones: vec![10],
+                gamma: 0.5,
+            },
+        };
+        // After warmup, milestone indexing restarts at warmup end.
+        assert!((s.lr_at(3) - 0.04).abs() < 1e-7);
+        assert!((s.lr_at(12) - 0.04).abs() < 1e-7); // inner epoch 9 < 10
+        assert!((s.lr_at(13) - 0.02).abs() < 1e-7); // inner epoch 10
+    }
+}

@@ -1,0 +1,295 @@
+//! Numerical gradient checking for every differentiable op.
+//!
+//! Each op is validated against central finite differences
+//! `(f(x+ε) − f(x−ε)) / 2ε` on seeded random inputs. This is the ground
+//! truth the whole training stack rests on: a wrong backward rule shows up
+//! as slightly-worse convergence (easy to miss), not as a crash, so it
+//! must be pinned here op by op.
+
+use st_autograd::{loss, ops, Tape, Var};
+use st_tensor::{random, Tensor};
+
+/// Relative tolerance for f32 central differences.
+const TOL: f32 = 2e-2;
+/// Finite-difference step.
+const EPS: f32 = 1e-2;
+
+/// Compare analytic gradients against central differences for a scalar
+/// function `build(tape, x) → scalar Var`.
+fn gradcheck(name: &str, x: Tensor, build: impl Fn(&Tape, &Var) -> Var) {
+    // Analytic.
+    let tape = Tape::new();
+    let leaf = tape.leaf(x.clone());
+    let out = build(&tape, &leaf);
+    assert_eq!(out.value().numel(), 1, "{name}: gradcheck needs a scalar output");
+    let grads = tape.backward(&out);
+    let analytic = grads.get(&leaf).expect("leaf gradient").to_vec();
+
+    // Numerical.
+    let base = x.to_vec();
+    let eval = |vals: Vec<f32>| -> f32 {
+        let t = Tensor::from_vec(vals, x.shape().clone()).unwrap();
+        let tape = Tape::new();
+        let leaf = tape.leaf(t);
+        build(&tape, &leaf).value().item()
+    };
+    for i in 0..base.len() {
+        let mut plus = base.clone();
+        plus[i] += EPS;
+        let mut minus = base.clone();
+        minus[i] -= EPS;
+        let numeric = (eval(plus) - eval(minus)) / (2.0 * EPS);
+        let a = analytic[i];
+        let denom = a.abs().max(numeric.abs()).max(1.0);
+        assert!(
+            (a - numeric).abs() / denom < TOL,
+            "{name}: grad[{i}] analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+fn input(shape: impl Into<st_tensor::Shape>, lo: f32, hi: f32, seed: u64) -> Tensor {
+    random::uniform(shape, lo, hi, &mut random::rng_from_seed(seed))
+}
+
+#[test]
+fn gradcheck_add() {
+    let b = input([2, 3], -1.0, 1.0, 2);
+    gradcheck("add", input([2, 3], -1.0, 1.0, 1), move |t, x| {
+        ops::sum_all(&ops::add(x, &t.constant(b.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_add_broadcast() {
+    // Bias-style broadcast: [2,3] + [3].
+    let x4 = input([2, 3], -1.0, 1.0, 3);
+    gradcheck("add_broadcast", input([3], -1.0, 1.0, 4), move |t, b| {
+        ops::sum_all(&ops::add(&t.constant(x4.clone()), b))
+    });
+}
+
+#[test]
+fn gradcheck_sub_and_neg() {
+    let b = input([4], -1.0, 1.0, 6);
+    gradcheck("sub", input([4], -1.0, 1.0, 5), move |t, x| {
+        ops::sum_all(&ops::sub(x, &t.constant(b.clone())))
+    });
+    gradcheck("neg", input([4], -1.0, 1.0, 7), |_, x| {
+        ops::sum_all(&ops::neg(x))
+    });
+}
+
+#[test]
+fn gradcheck_mul_both_sides() {
+    let b = input([2, 2], 0.5, 1.5, 9);
+    let b2 = b.clone();
+    gradcheck("mul_lhs", input([2, 2], -1.0, 1.0, 8), move |t, x| {
+        ops::sum_all(&ops::mul(x, &t.constant(b.clone())))
+    });
+    let a = input([2, 2], -1.0, 1.0, 8);
+    gradcheck("mul_rhs", b2, move |t, x| {
+        ops::sum_all(&ops::mul(&t.constant(a.clone()), x))
+    });
+}
+
+#[test]
+fn gradcheck_div() {
+    // Keep the denominator well away from zero.
+    let den = input([3], 1.0, 2.0, 11);
+    gradcheck("div_num", input([3], -1.0, 1.0, 10), move |t, x| {
+        ops::sum_all(&ops::div(x, &t.constant(den.clone())))
+    });
+    let num = input([3], -1.0, 1.0, 12);
+    gradcheck("div_den", input([3], 1.0, 2.0, 13), move |t, x| {
+        ops::sum_all(&ops::div(&t.constant(num.clone()), x))
+    });
+}
+
+#[test]
+fn gradcheck_scalar_ops() {
+    gradcheck("add_scalar", input([3], -1.0, 1.0, 14), |_, x| {
+        ops::sum_all(&ops::add_scalar(x, 2.5))
+    });
+    gradcheck("mul_scalar", input([3], -1.0, 1.0, 15), |_, x| {
+        ops::sum_all(&ops::mul_scalar(x, -1.7))
+    });
+}
+
+#[test]
+fn gradcheck_square_sqrt() {
+    gradcheck("square", input([4], -1.0, 1.0, 16), |_, x| {
+        ops::sum_all(&ops::square(x))
+    });
+    // sqrt needs strictly positive inputs away from 0.
+    gradcheck("sqrt", input([4], 0.5, 2.0, 17), |_, x| {
+        ops::sum_all(&ops::sqrt(x))
+    });
+}
+
+#[test]
+fn gradcheck_abs_away_from_kink() {
+    // |x| is non-differentiable at 0; sample away from it.
+    gradcheck("abs_pos", input([3], 0.3, 1.0, 18), |_, x| {
+        ops::sum_all(&ops::abs(x))
+    });
+    gradcheck("abs_neg", input([3], -1.0, -0.3, 19), |_, x| {
+        ops::sum_all(&ops::abs(x))
+    });
+}
+
+#[test]
+fn gradcheck_activations() {
+    gradcheck("exp", input([3], -1.0, 1.0, 20), |_, x| {
+        ops::sum_all(&ops::exp(x))
+    });
+    gradcheck("sigmoid", input([5], -2.0, 2.0, 21), |_, x| {
+        ops::sum_all(&ops::sigmoid(x))
+    });
+    gradcheck("tanh", input([5], -2.0, 2.0, 22), |_, x| {
+        ops::sum_all(&ops::tanh(x))
+    });
+    gradcheck("relu", input([5], 0.2, 1.0, 23), |_, x| {
+        ops::sum_all(&ops::relu(x))
+    });
+    gradcheck("gelu", input([5], -2.0, 2.0, 24), |_, x| {
+        ops::sum_all(&ops::gelu(x))
+    });
+}
+
+#[test]
+fn gradcheck_matmul_both_sides() {
+    let b = input([3, 2], -1.0, 1.0, 26);
+    gradcheck("matmul_lhs", input([2, 3], -1.0, 1.0, 25), move |t, x| {
+        ops::sum_all(&ops::matmul(x, &t.constant(b.clone())))
+    });
+    let a = input([2, 3], -1.0, 1.0, 27);
+    gradcheck("matmul_rhs", input([3, 2], -1.0, 1.0, 28), move |t, x| {
+        ops::sum_all(&ops::matmul(&t.constant(a.clone()), x))
+    });
+}
+
+#[test]
+fn gradcheck_bmm() {
+    // Batched [B, N, K] @ [K, M].
+    let w = input([3, 2], -1.0, 1.0, 30);
+    gradcheck("bmm_lhs", input([2, 4, 3], -1.0, 1.0, 29), move |t, x| {
+        ops::sum_all(&ops::bmm(x, &t.constant(w.clone())))
+    });
+    let a = input([2, 4, 3], -1.0, 1.0, 31);
+    gradcheck("bmm_rhs", input([3, 2], -1.0, 1.0, 32), move |t, x| {
+        ops::sum_all(&ops::bmm(&t.constant(a.clone()), x))
+    });
+}
+
+#[test]
+fn gradcheck_softmax() {
+    // Weighted sum of softmax outputs exercises the full Jacobian.
+    let w = input([2, 4], -1.0, 1.0, 34);
+    gradcheck("softmax_last", input([2, 4], -1.5, 1.5, 33), move |t, x| {
+        ops::sum_all(&ops::mul(&ops::softmax_last(x), &t.constant(w.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_reductions() {
+    gradcheck("mean_all", input([2, 3], -1.0, 1.0, 35), |_, x| {
+        ops::mean_all(x)
+    });
+    let w = input([4], -1.0, 1.0, 37);
+    gradcheck("mean_axis", input([3, 4], -1.0, 1.0, 36), move |t, x| {
+        ops::sum_all(&ops::mul(&ops::mean_axis(x, 0), &t.constant(w.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_shape_ops() {
+    let w = input([2, 2], -1.0, 1.0, 39);
+    gradcheck("narrow", input([4, 2], -1.0, 1.0, 38), move |t, x| {
+        ops::sum_all(&ops::mul(&ops::narrow(x, 0, 1, 2), &t.constant(w.clone())))
+    });
+    let w2 = input([6], -1.0, 1.0, 41);
+    gradcheck("reshape", input([2, 3], -1.0, 1.0, 40), move |t, x| {
+        ops::sum_all(&ops::mul(&ops::reshape(x, [6]), &t.constant(w2.clone())))
+    });
+    let w3 = input([3, 2], -1.0, 1.0, 43);
+    gradcheck("permute", input([2, 3], -1.0, 1.0, 42), move |t, x| {
+        ops::sum_all(&ops::mul(&ops::permute(x, &[1, 0]), &t.constant(w3.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_concat_and_stack() {
+    let other = input([2, 2], -1.0, 1.0, 45);
+    let w = input([2, 4], -1.0, 1.0, 46);
+    gradcheck("concat", input([2, 2], -1.0, 1.0, 44), move |t, x| {
+        let o = t.constant(other.clone());
+        let cat = ops::concat(&[x, &o], 1);
+        ops::sum_all(&ops::mul(&cat, &t.constant(w.clone())))
+    });
+    let other2 = input([2, 2], -1.0, 1.0, 48);
+    let w4 = input([2, 2, 2], -1.0, 1.0, 49);
+    gradcheck("stack0", input([2, 2], -1.0, 1.0, 47), move |t, x| {
+        let o = t.constant(other2.clone());
+        let st = ops::stack0(&[x, &o]);
+        ops::sum_all(&ops::mul(&st, &t.constant(w4.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_index_select() {
+    // Repeated indices must *accumulate* gradient (the classic bug).
+    let w = input([3, 2], -1.0, 1.0, 51);
+    gradcheck("index_select0", input([4, 2], -1.0, 1.0, 50), move |t, x| {
+        let sel = ops::index_select0(x, &[1, 1, 3]);
+        ops::sum_all(&ops::mul(&sel, &t.constant(w.clone())))
+    });
+}
+
+#[test]
+fn gradcheck_layer_norm() {
+    let gamma = input([4], 0.5, 1.5, 53);
+    let beta = input([4], -0.5, 0.5, 54);
+    gradcheck("layer_norm_x", input([2, 4], -1.0, 1.0, 52), move |t, x| {
+        let g = t.constant(gamma.clone());
+        let b = t.constant(beta.clone());
+        ops::sum_all(&ops::layer_norm(x, &g, &b, 1e-5))
+    });
+    let x2 = input([2, 4], -1.0, 1.0, 55);
+    let beta2 = input([4], -0.5, 0.5, 56);
+    gradcheck("layer_norm_gamma", input([4], 0.5, 1.5, 57), move |t, g| {
+        let x = t.constant(x2.clone());
+        let b = t.constant(beta2.clone());
+        ops::sum_all(&ops::layer_norm(&x, g, &b, 1e-5))
+    });
+}
+
+#[test]
+fn gradcheck_losses() {
+    // MAE is non-differentiable at pred = target; keep a gap.
+    let target = input([2, 3], 2.0, 3.0, 59);
+    gradcheck("mae", input([2, 3], -1.0, 1.0, 58), move |t, x| {
+        let tgt = t.constant(target.clone());
+        loss::mae(x, &tgt)
+    });
+    let target2 = input([2, 3], -1.0, 1.0, 61);
+    gradcheck("mse", input([2, 3], -1.0, 1.0, 60), move |t, x| {
+        let tgt = t.constant(target2.clone());
+        loss::mse(x, &tgt)
+    });
+}
+
+#[test]
+fn gradcheck_composite_gru_like_chain() {
+    // A miniature GRU-flavored composite: σ/tanh gates, elementwise mixing,
+    // a projection — the shape of the real DCGRU data path.
+    let w = input([3, 3], -0.5, 0.5, 63);
+    gradcheck("gru_chain", input([2, 3], -1.0, 1.0, 62), move |t, x| {
+        let wv = t.constant(w.clone());
+        let u = ops::sigmoid(&ops::matmul(x, &wv));
+        let c = ops::tanh(x);
+        let one_minus_u = ops::add_scalar(&ops::neg(&u), 1.0);
+        let h = ops::add(&ops::mul(&u, x), &ops::mul(&one_minus_u, &c));
+        ops::mean_all(&h)
+    });
+}

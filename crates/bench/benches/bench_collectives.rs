@@ -1,0 +1,44 @@
+//! Criterion bench: collective primitives of the simulated DDP runtime —
+//! all-reduce latency vs world size and payload, and the shared-seed global
+//! shuffle (which must be cheap enough to run every epoch on every worker).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_dist::launch::run_workers;
+use st_dist::shuffle::global_stripe;
+use st_dist::topology::ClusterTopology;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for world in [2usize, 4] {
+        for len in [1usize << 10, 1 << 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{world}"), len),
+                &(world, len),
+                |b, &(world, len)| {
+                    b.iter(|| {
+                        run_workers(world, ClusterTopology::polaris(), |mut ctx| {
+                            let mut buf = vec![ctx.comm.rank() as f32; len];
+                            ctx.comm.all_reduce_sum(&mut buf);
+                            buf[0]
+                        })
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_global_shuffle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_shuffle");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| global_stripe(n, 16, 3, 42, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_global_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: index-batching vs Algorithm-1 materialization.
+//!
+//! Two hot paths from the paper's design argument:
+//! 1. preprocessing — building the dataset (index construction should be
+//!    ~O(1) vs the materializer's O(S·h·N·F) copy);
+//! 2. batch assembly — gathering a minibatch at runtime (index-batching
+//!    must not be slower, backing the "<1% runtime difference" claim of
+//!    Table 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgt_index::IndexDataset;
+use st_data::datasets::{DatasetKind, DatasetSpec};
+use st_data::preprocess::materialized_xy;
+use st_data::splits::SplitRatios;
+use st_data::synthetic;
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    for scale in [0.005f64, 0.01] {
+        let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(scale);
+        let sig = synthetic::generate(&spec, 7);
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_materialize", spec.entries),
+            &sig,
+            |b, sig| {
+                b.iter(|| materialized_xy(sig, spec.horizon, SplitRatios::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("index_batching_build", spec.entries),
+            &sig,
+            |b, sig| {
+                b.iter(|| {
+                    IndexDataset::from_signal(sig, spec.horizon, SplitRatios::default(), None)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_assembly(c: &mut Criterion) {
+    let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(0.01);
+    let sig = synthetic::generate(&spec, 7);
+    let index = IndexDataset::from_signal(&sig, spec.horizon, SplitRatios::default(), None);
+    let std_out = materialized_xy(&sig, spec.horizon, SplitRatios::default());
+    let ids: Vec<usize> = (0..32).map(|i| i * 3 % index.num_snapshots()).collect();
+
+    let mut group = c.benchmark_group("batch_assembly");
+    group.bench_function("index_batching", |b| {
+        b.iter(|| index.batch(&ids));
+    });
+    group.bench_function("materialized_gather", |b| {
+        b.iter(|| {
+            (
+                std_out.x.index_select0(&ids).unwrap(),
+                std_out.y.index_select0(&ids).unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_snapshot_view(c: &mut Criterion) {
+    let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(0.01);
+    let sig = synthetic::generate(&spec, 7);
+    let index = IndexDataset::from_signal(&sig, spec.horizon, SplitRatios::default(), None);
+    c.bench_function("zero_copy_snapshot", |b| {
+        b.iter(|| index.snapshot(100));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_preprocess,
+    bench_batch_assembly,
+    bench_snapshot_view
+);
+criterion_main!(benches);

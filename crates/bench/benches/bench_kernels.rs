@@ -1,0 +1,61 @@
+//! Criterion bench: numerical kernels under the model zoo — dense matmul,
+//! CSR spmm, and a full diffusion-convolution forward — the per-batch costs
+//! the paper-scale runtime projection is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_autograd::Tape;
+use st_graph::{diffusion_supports, generators::highway_corridor, Csr};
+use st_models::dcrnn::DiffusionConv;
+use st_models::Support;
+use st_tensor::ops::matmul;
+use st_tensor::random::{rng_from_seed, uniform};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let mut rng = rng_from_seed(1);
+        let a = uniform([n, n], -1.0, 1.0, &mut rng);
+        let b = uniform([n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| matmul(a, b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for nodes in [100usize, 400] {
+        let net = highway_corridor(nodes, 2, 3);
+        let p = st_graph::transition::random_walk(&net.adjacency);
+        let mut rng = rng_from_seed(2);
+        let x = uniform([nodes, 64], -1.0, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &(p, x),
+            |b, (p, x): &(Csr, st_tensor::Tensor)| {
+                b.iter(|| p.spmm(x).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dconv_forward(c: &mut Criterion) {
+    let nodes = 100;
+    let net = highway_corridor(nodes, 2, 3);
+    let supports = Support::wrap_all(diffusion_supports(&net.adjacency, 2));
+    let mut rng = rng_from_seed(4);
+    let layer = DiffusionConv::new("bench", supports, 66, 64, &mut rng);
+    let x = uniform([8, nodes, 66], -1.0, 1.0, &mut rng);
+    c.bench_function("dconv_forward_b8_n100", |b| {
+        b.iter(|| {
+            let tape = Tape::new();
+            let v = tape.leaf(x.clone());
+            layer.forward(&tape, &v)
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_dconv_forward);
+criterion_main!(benches);

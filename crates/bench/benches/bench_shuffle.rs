@@ -1,0 +1,79 @@
+//! Criterion bench: shuffling strategies (§4.2, §5.4) and prefetch overlap.
+//!
+//! Two costs matter at runtime:
+//! 1. deriving an epoch's visit order (global shared-seed permutation vs
+//!    local permutation vs batch-order shuffle) — the communication-free
+//!    global shuffle must not cost more CPU than the local variants;
+//! 2. assembling batches through the data plane with and without
+//!    prefetching (the §7 ablation's hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_dist::datasvc::DistributedArray;
+use st_dist::prefetch::Prefetcher;
+use st_dist::shuffle::{batch_order_shuffle, contiguous_partition, global_stripe, local_shuffle};
+use st_dist::topology::ClusterTopology;
+use st_tensor::Tensor;
+
+fn bench_shuffle_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_derivation");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("global_stripe", n), &n, |b, &n| {
+            b.iter(|| global_stripe(n, 8, 3, 42, 7));
+        });
+        let part: Vec<usize> = contiguous_partition(n, 8, 3).collect();
+        group.bench_with_input(BenchmarkId::new("local_shuffle", n), &n, |b, _| {
+            b.iter(|| local_shuffle(&part, 42, 3, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("batch_order", n), &n, |b, &n| {
+            b.iter(|| batch_order_shuffle(n / 64, 42, 3, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_data_plane(c: &mut Criterion) {
+    let rows = 4096usize;
+    let array = || {
+        DistributedArray::new(
+            Tensor::zeros([rows, 256]),
+            4,
+            ClusterTopology::polaris(),
+            4,
+        )
+    };
+    let cm = st_device::CostModel::polaris();
+    let batches: Vec<Vec<usize>> = (0..32)
+        .map(|b| (0..16).map(|i| (b * 97 + i * 13) % rows).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("data_plane");
+    group.bench_function("synchronous_fetch", |b| {
+        let a = array();
+        let clock = st_device::SimClock::new();
+        b.iter(|| {
+            for ids in &batches {
+                criterion::black_box(a.fetch_rows(0, ids, &cm, &clock));
+            }
+        });
+    });
+    group.bench_function("prefetched_fetch", |b| {
+        let a = array();
+        let clock = st_device::SimClock::new();
+        b.iter(|| {
+            let mut pf = Prefetcher::new(vec![a.clone()], 0, cm.clone());
+            pf.issue(&batches[0]);
+            for (i, _) in batches.iter().enumerate() {
+                let data = pf.wait(&clock);
+                if let Some(next) = batches.get(i + 1) {
+                    pf.issue(next);
+                }
+                pf.overlap(1e-4);
+                criterion::black_box(data);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle_derivation, bench_data_plane);
+criterion_main!(benches);

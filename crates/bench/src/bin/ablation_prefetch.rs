@@ -1,0 +1,83 @@
+//! Ablation: prefetching + data-distribution policies (paper §7).
+//!
+//! Quantifies the two §7 data-plane proposals on the baseline-DDP runner:
+//! 1. **Prefetching** — double-buffered batch fetches overlap the data
+//!    plane with compute; reported as exposed-communication seconds.
+//! 2. **Ownership policy** — contiguous vs strided row ownership changes
+//!    how many owners a contiguous read touches (requests per fetch).
+
+use pgt_index::baseline_ddp::run_baseline_ddp;
+use pgt_index::DistConfig;
+use st_data::datasets::{DatasetKind, DatasetSpec};
+use st_data::synthetic;
+use st_dist::datasvc::{DistributedArray, PartitionPolicy};
+use st_dist::topology::ClusterTopology;
+use st_graph::diffusion_supports;
+use st_models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
+use st_report::table::Table;
+
+fn main() {
+    let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(st_bench::DIST_SCALE);
+    let sig = synthetic::generate(&spec, st_bench::SEED);
+    let factory = |features: usize| {
+        let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
+        let mc = ModelConfig {
+            input_dim: features,
+            output_dim: 1,
+            hidden: 8,
+            num_nodes: sig.num_nodes(),
+            horizon: spec.horizon,
+            diffusion_steps: 2,
+            layers: 1,
+        };
+        PgtDcrnn::new(mc, &supports, st_bench::SEED)
+    };
+
+    // --- prefetch on/off on the measured baseline-DDP runner ---
+    let mut table = Table::new(
+        "Ablation §7a: baseline DDP with and without prefetching (measured, simulated seconds)",
+        &["variant", "comm s", "compute s", "total s", "data-plane bytes"],
+    );
+    let mut cfg = DistConfig::new(2, if st_bench::smoke() { 1 } else { 2 }, spec.horizon);
+    cfg.batch_per_worker = 4;
+    for prefetch in [false, true] {
+        cfg.prefetch = prefetch;
+        let r = run_baseline_ddp(&sig, &cfg, |_| Box::new(factory(1)) as Box<dyn Seq2Seq>);
+        table.row(&[
+            if prefetch { "prefetched" } else { "synchronous" }.to_string(),
+            format!("{:.4}", r.sim_comm_secs),
+            format!("{:.4}", r.sim_compute_secs),
+            format!("{:.4}", r.sim_total_secs),
+            r.data_plane_bytes.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+
+    // --- ownership policies: requests per contiguous window read ---
+    let mut table = Table::new(
+        "Ablation §7b: ownership policy vs requests for one contiguous 64-row read (4 workers)",
+        &["policy", "remote requests", "remote bytes"],
+    );
+    let rows = 256;
+    for (name, policy) in [
+        ("contiguous", PartitionPolicy::Contiguous),
+        ("strided", PartitionPolicy::Strided),
+    ] {
+        let t = st_tensor::Tensor::zeros([rows, 64]);
+        let a = DistributedArray::with_policy(t, 4, ClusterTopology::polaris(), 4, policy);
+        let cm = st_device::CostModel::polaris();
+        let ids: Vec<usize> = (0..64).collect(); // rank 0's own block, contiguous
+        a.fetch_rows_quoted(0, &ids, &cm);
+        table.row(&[
+            name.to_string(),
+            a.remote_requests().to_string(),
+            a.remote_bytes().to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "Reading: prefetching hides fetch time behind compute without changing \
+         bytes or learning; the contiguous policy makes halo-window reads \
+         single-owner (0 extra requests) where striding touches every rank."
+    );
+}

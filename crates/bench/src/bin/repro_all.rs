@@ -1,0 +1,59 @@
+//! Run the full reproduction suite: every `repro_*` binary in paper order,
+//! assembling `target/experiment_records.md` along the way.
+//!
+//! ```text
+//! cargo run --release -p st-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "repro_table1",
+    "repro_fig1",
+    "repro_table2",
+    "repro_fig2",
+    "repro_fig3",
+    "repro_table3",
+    "repro_fig5",
+    "repro_fig6",
+    "repro_table4",
+    "repro_fig7",
+    "repro_fig8",
+    "repro_table5",
+    "repro_fig9",
+    "repro_table6",
+    "repro_fig10",
+    // §7 future-work ablations (no paper baseline; see EXPERIMENTS.md)
+    "ablation_partition",
+    "ablation_prefetch",
+];
+
+fn main() {
+    // Start the record file fresh for this sweep.
+    let _ = std::fs::remove_file("target/experiment_records.md");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n================= {bin} =================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n================= summary =================");
+    if failures.is_empty() {
+        println!(
+            "all {} experiments completed; records in target/experiment_records.md",
+            BINARIES.len()
+        );
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reproduce **Figure 2**: system-memory timelines for DCRNN and PGT-DCRNN
+//! on PeMS-All-LA and PeMS against the 512 GB Polaris host limit — both
+//! implementations must OOM on full PeMS before training starts. Uses the
+//! virtual replay of the reference pipelines at the paper's exact shapes.
+
+use st_bench::{emit_records, gib};
+use st_data::datasets::{DatasetKind, DatasetSpec};
+use st_data::replay::{standard_replay, LoaderVariant};
+use st_device::memory::{MemPool, PoolMode};
+use st_device::profiler::MemTimeline;
+use st_device::GIB;
+use st_report::record::RecordSet;
+use st_report::series::{render_columns, Series};
+
+fn run(kind: DatasetKind, variant: LoaderVariant) -> (Series, Option<f64>, f64) {
+    let spec = DatasetSpec::get(kind);
+    let pool = MemPool::new("polaris-host", 512 * GIB, PoolMode::Virtual);
+    let mut tl = MemTimeline::new(format!("{:?}-{}", variant, spec.name));
+    let report = standard_replay(&spec, variant, &pool, &mut tl, 8);
+    let label = format!(
+        "{}/{}",
+        match variant {
+            LoaderVariant::DcrnnPadded => "DCRNN",
+            LoaderVariant::Pgt => "PGT-DCRNN",
+        },
+        spec.name
+    );
+    let pts = tl
+        .rows_gib()
+        .into_iter()
+        .map(|(p, g)| (p, g))
+        .collect::<Vec<_>>();
+    (
+        Series::new(label, pts),
+        tl.oom_at(),
+        gib(report.peak_bytes),
+    )
+}
+
+fn main() {
+    println!("Fig 2 — memory during training, 512 GB system limit\n");
+    let mut records = RecordSet::new();
+    let mut series = Vec::new();
+    for (kind, paper_oom) in [(DatasetKind::PemsAllLa, false), (DatasetKind::Pems, true)] {
+        for variant in [LoaderVariant::DcrnnPadded, LoaderVariant::Pgt] {
+            let (s, oom, peak) = run(kind, variant);
+            let verdict = match oom {
+                Some(p) => format!("OOM at {:.0}% progress", p * 100.0),
+                None => format!("completes, peak {peak:.2} GiB"),
+            };
+            println!("{:<24} {verdict}", s.label);
+            records.push(
+                "Fig 2",
+                &format!("{} OOM verdict", s.label),
+                if paper_oom { "crash (OOM)" } else { "completes" },
+                if oom.is_some() { "crash (OOM)" } else { "completes" },
+                oom.is_some() == paper_oom,
+                "virtual replay at paper shapes, 512 GB limit",
+            );
+            series.push(s);
+        }
+    }
+    println!();
+    println!(
+        "{}",
+        render_columns("Fig 2 timelines (GiB vs % progress)", "progress%", &series)
+    );
+    emit_records("Fig 2 — memory timelines & OOM", &records);
+}

@@ -1,0 +1,139 @@
+//! Reproduce **Table 2**: single-epoch DCRNN vs PGT-DCRNN on PeMS-All-LA —
+//! runtime (minutes), peak system memory, peak GPU memory.
+//!
+//! Host memory comes from the virtual replay of each pipeline at the
+//! paper's shapes; runtimes from the calibrated cost projection; GPU memory
+//! from **measured** autograd-tape activation bytes at a scaled
+//! configuration, scaled linearly by batch × nodes to paper shape (plus the
+//! padded loader's device-side batch copies for DCRNN).
+
+use pgt_index::projection::{project_table2, ProjectionParams};
+use st_autograd::Tape;
+use st_bench::{emit_records, gib, minutes};
+use st_data::datasets::{DatasetKind, DatasetSpec};
+use st_data::replay::{standard_replay, LoaderVariant};
+use st_device::memory::{MemPool, PoolMode};
+use st_device::profiler::MemTimeline;
+use st_device::GIB;
+use st_graph::diffusion_supports;
+use st_models::{Dcrnn, ModelConfig, PgtDcrnn, Seq2Seq, Support};
+use st_report::record::RecordSet;
+use st_report::table::Table;
+
+/// Measure tape activation bytes for one forward at a scaled config, then
+/// scale to the paper's (batch=32, nodes=2716) shape.
+fn projected_gpu_bytes(model: &dyn Seq2Seq, x: &st_tensor::Tensor, scale: f64) -> u64 {
+    let tape = Tape::new();
+    let _ = model.forward(&tape, x);
+    (tape.activation_bytes(4) as f64 * scale) as u64
+}
+
+fn main() {
+    let spec = DatasetSpec::get(DatasetKind::PemsAllLa);
+    let params = ProjectionParams::default();
+
+    // --- Host memory: virtual replays. ---
+    let host_peak = |variant| {
+        let pool = MemPool::new("host", 512 * GIB, PoolMode::Virtual);
+        let mut tl = MemTimeline::new("t2");
+        let r = standard_replay(&spec, variant, &pool, &mut tl, 8);
+        r.peak_bytes
+    };
+    let dcrnn_host = host_peak(LoaderVariant::DcrnnPadded);
+    let pgt_host = host_peak(LoaderVariant::Pgt);
+
+    // --- Runtime: calibrated projection. ---
+    let (dcrnn_secs, pgt_secs) = project_table2(&params, &spec);
+
+    // --- GPU memory: measured tape, scaled. ---
+    let scaled_nodes = 64usize;
+    let batch_small = 4usize;
+    let net = st_graph::generators::highway_corridor(scaled_nodes, 2, st_bench::SEED);
+    let supports = Support::wrap_all(diffusion_supports(&net.adjacency, 2));
+    let mk_cfg = |layers: usize| ModelConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden: 64,
+        num_nodes: scaled_nodes,
+        horizon: 12,
+        diffusion_steps: 2,
+        layers,
+    };
+    let x = st_tensor::Tensor::ones([batch_small, 12, scaled_nodes, 2]);
+    let scale = (32.0 / batch_small as f64) * (spec.nodes as f64 / scaled_nodes as f64);
+    let dcrnn_model = Dcrnn::new(mk_cfg(2), &supports, st_bench::SEED);
+    let pgt_model = PgtDcrnn::new(mk_cfg(1), &supports, st_bench::SEED);
+    let mut dcrnn_gpu = projected_gpu_bytes(&dcrnn_model, &x, scale);
+    let pgt_gpu = projected_gpu_bytes(&pgt_model, &x, scale);
+    // The original DCRNN loader stages padded batch copies on-device too.
+    dcrnn_gpu += (32 * 12 * spec.nodes * 2 * 8) as u64 * 4;
+
+    let mut table = Table::new(
+        "Table 2 — single-epoch comparison on PeMS-All-LA",
+        &["Model", "Runtime (min)", "Max system mem (GB)", "Max GPU mem (GB)"],
+    );
+    table.row(&[
+        "DCRNN".into(),
+        format!("{:.2}", minutes(dcrnn_secs)),
+        format!("{:.2}/512", gib(dcrnn_host)),
+        format!("{:.2}/40", gib(dcrnn_gpu)),
+    ]);
+    table.row(&[
+        "PGT-DCRNN".into(),
+        format!("{:.2}", minutes(pgt_secs)),
+        format!("{:.2}/512", gib(pgt_host)),
+        format!("{:.2}/40", gib(pgt_gpu)),
+    ]);
+    println!("{}", table.to_text());
+
+    let mut records = RecordSet::new();
+    records.push(
+        "Table 2",
+        "DCRNN runtime (min)",
+        "68.48",
+        format!("{:.2}", minutes(dcrnn_secs)),
+        (minutes(dcrnn_secs) - 68.48).abs() / 68.48 < 0.4,
+        "calibrated projection; DCRNN reference impl modeled at lower effective FLOPs",
+    );
+    records.push(
+        "Table 2",
+        "PGT-DCRNN runtime (min)",
+        "4.48",
+        format!("{:.2}", minutes(pgt_secs)),
+        (minutes(pgt_secs) - 4.48).abs() / 4.48 < 0.4,
+        "speedup ratio is the claim: paper 15.3x",
+    );
+    records.push(
+        "Table 2",
+        "PGT/DCRNN runtime ratio",
+        "15.3x",
+        format!("{:.1}x", dcrnn_secs / pgt_secs),
+        (8.0..25.0).contains(&(dcrnn_secs / pgt_secs)),
+        "",
+    );
+    records.push(
+        "Table 2",
+        "DCRNN peak system memory (GB)",
+        "371.25",
+        format!("{:.2}", gib(dcrnn_host)),
+        (gib(dcrnn_host) - 371.25).abs() / 371.25 < 0.05,
+        "virtual replay with padded-loader duplication",
+    );
+    records.push(
+        "Table 2",
+        "PGT-DCRNN peak system memory (GB)",
+        "259.84",
+        format!("{:.2}", gib(pgt_host)),
+        (gib(pgt_host) - 259.84).abs() / 259.84 < 0.05,
+        "virtual replay of Algorithm-1 allocation order",
+    );
+    records.push(
+        "Table 2",
+        "GPU memory: DCRNN ≫ PGT-DCRNN",
+        "24.84 vs 1.58 GB (15.7x)",
+        format!("{:.2} vs {:.2} GB ({:.1}x)", gib(dcrnn_gpu), gib(pgt_gpu), dcrnn_gpu as f64 / pgt_gpu as f64),
+        dcrnn_gpu > 5 * pgt_gpu,
+        "tape activation bytes, measured at scaled config, linearly scaled",
+    );
+    emit_records("Table 2 — DCRNN vs PGT-DCRNN", &records);
+}

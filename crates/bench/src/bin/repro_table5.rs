@@ -1,0 +1,49 @@
+//! Reproduce **Table 5**: optimal validation MAE with global shuffling vs
+//! local batch shuffling on PeMS-BAY at 4/8/16 GPUs — the §5.4 ablation
+//! showing batch-level shuffling costs no accuracy.
+
+use pgt_index::dist_index::{run_distributed_index, DistConfig};
+use pgt_index::workflow::pgt_dcrnn_factory;
+use st_bench::emit_records;
+use st_data::datasets::{DatasetKind, DatasetSpec};
+use st_data::synthetic;
+use st_dist::shuffle::ShuffleStrategy;
+use st_report::record::RecordSet;
+use st_report::table::Table;
+
+fn main() {
+    let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(st_bench::DIST_SCALE);
+    let sig = synthetic::generate(&spec, st_bench::SEED);
+    let worlds: Vec<usize> = if st_bench::smoke() { vec![2] } else { vec![4, 8, 16] };
+    let epochs = st_bench::DIST_EPOCHS + 2;
+
+    let mut table = Table::new(
+        "Table 5 — optimal val MAE: global vs local batch shuffling (PeMS-BAY, measured)",
+        &["GPUs", "Global shuffling", "Local batch shuffling"],
+    );
+    let mut records = RecordSet::new();
+    for &w in &worlds {
+        let mut cfg = DistConfig::new(w, epochs, spec.horizon);
+        cfg.batch_per_worker = 4;
+        cfg.time_period = Some(spec.period);
+        cfg.lr = 5e-3;
+        let factory = pgt_dcrnn_factory(&sig, spec.horizon, 8, st_bench::SEED);
+        cfg.shuffle = ShuffleStrategy::Global;
+        let global = run_distributed_index(&sig, &cfg, &factory);
+        cfg.shuffle = ShuffleStrategy::LocalBatch;
+        let local = run_distributed_index(&sig, &cfg, &factory);
+        let (g, l) = (global.best_val_mae(), local.best_val_mae());
+        table.row(&[w.to_string(), format!("{g:.4}"), format!("{l:.4}")]);
+        let rel = (g - l).abs() / g.max(1e-6);
+        records.push(
+            "Table 5",
+            &format!("{w} GPUs: local batch ≈ global shuffle MAE"),
+            "similar accuracy (e.g. 1.932 vs 1.913 @4 GPUs)",
+            format!("{g:.3} vs {l:.3} ({:.1}% apart)", rel * 100.0),
+            rel < 0.2,
+            "measured at scaled size",
+        );
+    }
+    println!("{}", table.to_text());
+    emit_records("Table 5 — shuffle-strategy ablation", &records);
+}

@@ -1,0 +1,95 @@
+//! Shared configuration and helpers for the reproduction harness.
+//!
+//! Each `repro_*` binary regenerates one table or figure from the paper.
+//! Experiments run in two coupled modes (see `DESIGN.md` §2):
+//!
+//! - **measured** — real training on `MEASURE_SCALE`-reduced synthetic
+//!   datasets (fits the test machine), producing real losses and real
+//!   relative runtimes;
+//! - **paper-scale projection** — virtual memory replays and the analytic
+//!   cost model driven by the full Table-1 shapes, producing the GB / minute
+//!   numbers the paper reports.
+
+use st_report::record::RecordSet;
+
+/// Default scale factor for measured runs (fraction of full dataset size).
+pub const MEASURE_SCALE: f64 = 0.02;
+
+/// Smaller scale for the heavyweight multi-worker experiments.
+pub const DIST_SCALE: f64 = 0.012;
+
+/// Shared RNG seed across the harness.
+pub const SEED: u64 = 2025;
+
+/// Epochs for measured single-GPU learning runs (the paper uses 100 for
+/// Table 3 and 30 for PeMS-scale runs; measured runs shrink this with the
+/// data so convergence behavior is still visible).
+pub const MEASURE_EPOCHS: usize = 12;
+
+/// Quick-mode epochs for the distributed measured runs.
+pub const DIST_EPOCHS: usize = 4;
+
+/// True when the harness should run extra-small (CI smoke mode).
+/// Controlled by the `PGT_SMOKE` environment variable.
+pub fn smoke() -> bool {
+    std::env::var("PGT_SMOKE").is_ok()
+}
+
+/// Scale factor honoring smoke mode.
+pub fn measure_scale() -> f64 {
+    if smoke() {
+        0.008
+    } else {
+        MEASURE_SCALE
+    }
+}
+
+/// Measured epochs honoring smoke mode.
+pub fn measure_epochs() -> usize {
+    if smoke() {
+        3
+    } else {
+        MEASURE_EPOCHS
+    }
+}
+
+/// Print a record set as the standard harness footer and append it to
+/// `target/experiment_records.md` so `EXPERIMENTS.md` can be assembled.
+pub fn emit_records(experiment: &str, records: &RecordSet) {
+    println!("\n--- paper vs ours ({experiment}) ---");
+    print!("{}", records.to_markdown());
+    let dir = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("experiment_records.md");
+    let mut body = std::fs::read_to_string(&path).unwrap_or_default();
+    body.push_str(&format!("\n## {experiment}\n\n"));
+    body.push_str(&records.to_markdown());
+    let _ = std::fs::write(&path, body);
+}
+
+/// Bytes → GiB.
+pub fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Seconds → minutes.
+pub fn minutes(secs: f64) -> f64 {
+    secs / 60.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(gib(1 << 30), 1.0);
+        assert_eq!(minutes(120.0), 2.0);
+    }
+
+    #[test]
+    fn scales_are_sane() {
+        assert!(MEASURE_SCALE > 0.0 && MEASURE_SCALE < 0.2);
+        assert!(DIST_SCALE <= MEASURE_SCALE);
+    }
+}

@@ -1,0 +1,405 @@
+//! Index-batching × graph partitioning (paper §7 future work).
+//!
+//! The conclusion proposes "the integration of index-batching with graph
+//! partitioning, potentially yielding further speedups at a potential cost
+//! to accuracy" — the Mallick et al. \[37\] regime, where each spatial
+//! partition trains its own DCRNN on its subgraph (plus a halo of neighbor
+//! nodes so boundary diffusion convolutions see real context).
+//!
+//! Combining the two is natural: each partition worker applies
+//! index-batching to its **node-subset** signal, so the per-worker memory
+//! is `(entries × local_nodes × features)` with no window duplication —
+//! both savings compose multiplicatively. The trade-offs the paper warns
+//! about surface explicitly here:
+//!
+//! - **accuracy**: edges cut by the partitioning ([`PartitionedResult::
+//!   cut_fraction`]) remove spatial context the whole-graph model had;
+//! - **replication**: halo nodes are duplicated across partitions
+//!   ([`PartitionedResult::replication_factor`]);
+//! - **speedup**: partitions train in parallel, so the critical path is
+//!   the *largest* partition's per-epoch compute
+//!   ([`PartitionedResult::parallel_flops_fraction`]).
+
+use crate::index_batching::IndexDataset;
+use crate::trainer::{Trainer, TrainerConfig};
+use st_data::signal::StaticGraphTemporalSignal;
+use st_data::splits::SplitRatios;
+use st_graph::{diffusion_supports, Partitioning};
+use st_models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
+use st_tensor::Tensor;
+
+/// How to split the graph across partition workers.
+#[derive(Debug, Clone)]
+pub enum PartitionStrategy {
+    /// Contiguous node-index blocks (the naive baseline).
+    Contiguous,
+    /// Recursive coordinate bisection over sensor coordinates.
+    CoordinateBisection(Vec<(f32, f32)>),
+    /// Seeded BFS region growing over the weighted edges.
+    GreedyBfs,
+}
+
+/// Configuration of a partitioned training run.
+#[derive(Debug, Clone)]
+pub struct PartitionedConfig {
+    /// Number of partitions (one model per partition).
+    pub parts: usize,
+    /// Halo depth in hops; should be ≥ the model's diffusion steps K so
+    /// boundary convolutions see their full receptive field.
+    pub halo_depth: usize,
+    /// Partitioner.
+    pub strategy: PartitionStrategy,
+    /// Training epochs per partition model.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Hidden width of each partition model.
+    pub hidden: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Optional time-of-day augmentation period.
+    pub time_period: Option<usize>,
+    /// Shared seed.
+    pub seed: u64,
+}
+
+impl PartitionedConfig {
+    /// Reasonable defaults for a measured run.
+    pub fn new(parts: usize, horizon: usize) -> Self {
+        PartitionedConfig {
+            parts,
+            halo_depth: 2,
+            strategy: PartitionStrategy::GreedyBfs,
+            epochs: 3,
+            batch_size: 8,
+            lr: 1e-2,
+            hidden: 8,
+            horizon,
+            time_period: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Per-partition outcome.
+#[derive(Debug)]
+pub struct PartResult {
+    /// Partition id.
+    pub part: usize,
+    /// Owned nodes.
+    pub owned: usize,
+    /// Halo nodes replicated into this partition.
+    pub halo: usize,
+    /// Validation MAE over **owned** nodes only, original units.
+    pub val_mae: f32,
+    /// Resident dataset bytes under index-batching (f32).
+    pub resident_bytes: u64,
+    /// Model forward FLOPs for one sample (drives the critical path).
+    pub flops_per_sample: f64,
+}
+
+/// Outcome of a partitioned run plus the whole-graph quantities needed for
+/// the ablation comparison.
+#[derive(Debug)]
+pub struct PartitionedResult {
+    /// Per-partition results.
+    pub parts: Vec<PartResult>,
+    /// Validation MAE over all owned nodes (error-weighted combination).
+    pub combined_val_mae: f32,
+    /// Fraction of weighted edges cut by the partitioning.
+    pub cut_fraction: f64,
+    /// Σ local nodes / N (feature duplication from halos).
+    pub replication_factor: f64,
+    /// `max_p flops_p / flops_whole`: the parallel critical path per epoch
+    /// relative to whole-graph training (< 1 ⇒ speedup).
+    pub parallel_flops_fraction: f64,
+    /// Largest per-partition resident bytes (per-worker memory).
+    pub max_resident_bytes: u64,
+    /// Whole-graph resident bytes for the same signal (comparison point).
+    pub whole_resident_bytes: u64,
+}
+
+/// Restrict a signal to a node subset (the per-partition feature copy).
+///
+/// This *is* a copy — exactly the replication cost partitioned training
+/// pays for halo nodes, which [`PartitionedResult::replication_factor`]
+/// quantifies.
+pub fn node_subset_signal(
+    signal: &StaticGraphTemporalSignal,
+    nodes: &[usize],
+    adjacency: st_graph::Adjacency,
+) -> StaticGraphTemporalSignal {
+    let by_node = signal
+        .data
+        .permute(&[1, 0, 2])
+        .expect("signal is [E, N, F]");
+    let subset = by_node
+        .index_select0(nodes)
+        .expect("node ids in range")
+        .permute(&[1, 0, 2])
+        .expect("back to [E, n, F]")
+        .contiguous();
+    StaticGraphTemporalSignal::new(subset, adjacency)
+}
+
+/// Run partitioned index-batching training: one PGT-DCRNN per partition,
+/// each trained on its halo-augmented node-subset signal, validated on its
+/// owned nodes only.
+pub fn run_partitioned(
+    signal: &StaticGraphTemporalSignal,
+    cfg: &PartitionedConfig,
+) -> PartitionedResult {
+    let partitioning = match &cfg.strategy {
+        PartitionStrategy::Contiguous => Partitioning::contiguous(signal.num_nodes(), cfg.parts),
+        PartitionStrategy::CoordinateBisection(coords) => {
+            assert_eq!(coords.len(), signal.num_nodes(), "one coordinate per node");
+            Partitioning::coordinate_bisection(coords, cfg.parts)
+        }
+        PartitionStrategy::GreedyBfs => Partitioning::greedy_bfs(&signal.adjacency, cfg.parts),
+    };
+    let subgraphs = partitioning.subgraphs(&signal.adjacency, cfg.halo_depth);
+
+    // Whole-graph comparison quantities.
+    let whole_ds = IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
+    let whole_model = build_model(&whole_ds, signal, cfg);
+    let whole_flops = whole_model.flops_per_forward(1);
+    let whole_resident_bytes = whole_ds.resident_bytes(4);
+
+    let mut parts = Vec::with_capacity(cfg.parts);
+    let mut abs_weighted = 0.0f64;
+    let mut weight = 0.0f64;
+    let mut max_flops = 0.0f64;
+    let mut max_resident = 0u64;
+    for sub in &subgraphs {
+        let local_sig = node_subset_signal(signal, &sub.global_ids, sub.adjacency.clone());
+        let ds = IndexDataset::from_signal(&local_sig, cfg.horizon, SplitRatios::default(), cfg.time_period);
+        let model = build_model(&ds, &local_sig, cfg);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            seed: cfg.seed,
+            validate: false,
+            grad_clip: Some(5.0),
+        });
+        trainer.train(&model, &ds);
+        let val_mae = owned_val_mae(&model, &ds, sub.owned_count, cfg.batch_size);
+        let flops = model.flops_per_forward(1);
+        let resident = ds.resident_bytes(4);
+        max_flops = max_flops.max(flops);
+        max_resident = max_resident.max(resident);
+        let n_owned = sub.owned_count as f64;
+        abs_weighted += val_mae as f64 * n_owned;
+        weight += n_owned;
+        parts.push(PartResult {
+            part: sub.part,
+            owned: sub.owned_count,
+            halo: sub.halo_count(),
+            val_mae,
+            resident_bytes: resident,
+            flops_per_sample: flops,
+        });
+    }
+
+    PartitionedResult {
+        combined_val_mae: (abs_weighted / weight.max(1.0)) as f32,
+        cut_fraction: partitioning.cut_fraction(&signal.adjacency),
+        replication_factor: partitioning.replication_factor(&signal.adjacency, cfg.halo_depth),
+        parallel_flops_fraction: max_flops / whole_flops,
+        max_resident_bytes: max_resident,
+        whole_resident_bytes,
+        parts,
+    }
+}
+
+/// Validation MAE restricted to the first `owned` nodes, original units.
+fn owned_val_mae(model: &PgtDcrnn, ds: &IndexDataset, owned: usize, batch: usize) -> f32 {
+    let ids: Vec<usize> = ds.splits().val.clone().collect();
+    if ids.is_empty() {
+        return f32::NAN;
+    }
+    let mut abs_sum = 0.0f64;
+    let mut count = 0usize;
+    for chunk in ids.chunks(batch.max(1)) {
+        let (x, y) = ds.batch(chunk);
+        let target: Tensor = y
+            .narrow(3, 0, 1)
+            .expect("output feature")
+            .narrow(2, 0, owned)
+            .expect("owned prefix")
+            .contiguous();
+        let tape = st_autograd::Tape::new();
+        let pred = model.forward(&tape, &x);
+        let pred_owned = pred
+            .value()
+            .narrow(2, 0, owned)
+            .expect("owned prefix")
+            .contiguous();
+        let diff = st_tensor::ops::sub(&pred_owned, &target).expect("same shape");
+        abs_sum += st_tensor::ops::abs(&diff)
+            .to_vec()
+            .iter()
+            .map(|&v| v as f64)
+            .sum::<f64>();
+        count += target.numel();
+    }
+    (abs_sum / count.max(1) as f64) as f32 * ds.scaler().std
+}
+
+fn build_model(
+    ds: &IndexDataset,
+    sig: &StaticGraphTemporalSignal,
+    cfg: &PartitionedConfig,
+) -> PgtDcrnn {
+    let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
+    PgtDcrnn::new(
+        ModelConfig {
+            input_dim: ds.num_features(),
+            output_dim: 1,
+            hidden: cfg.hidden,
+            num_nodes: ds.num_nodes(),
+            horizon: cfg.horizon,
+            diffusion_steps: 2,
+            layers: 1,
+        },
+        &supports,
+        cfg.seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::datasets::{DatasetKind, DatasetSpec};
+    use st_data::synthetic;
+
+    fn signal() -> (DatasetSpec, StaticGraphTemporalSignal) {
+        let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.4);
+        let sig = synthetic::generate(&spec, 11);
+        (spec, sig)
+    }
+
+    /// A corridor network, where halos stay local (dense random-geometric
+    /// toys make every 2-hop halo swallow the whole graph).
+    fn corridor_signal() -> StaticGraphTemporalSignal {
+        let net = st_graph::generators::highway_corridor(24, 1, 11);
+        synthetic::traffic::generate(&net, 220, 288, 11)
+    }
+
+    #[test]
+    fn node_subset_preserves_values() {
+        let (_, sig) = signal();
+        let nodes = vec![3usize, 0, 5];
+        let adj = st_graph::partition::induced_subgraph(&sig.adjacency, &nodes);
+        let sub = node_subset_signal(&sig, &nodes, adj);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.entries(), sig.entries());
+        for (local, &global) in nodes.iter().enumerate() {
+            for t in [0usize, 7, sig.entries() - 1] {
+                assert_eq!(
+                    sub.data.at(&[t, local, 0]),
+                    sig.data.at(&[t, global, 0]),
+                    "t={t} local={local} global={global}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_run_trains_and_reports_tradeoffs() {
+        let sig = corridor_signal();
+        let mut cfg = PartitionedConfig::new(2, 4);
+        cfg.epochs = 2;
+        cfg.batch_size = 4;
+        let r = run_partitioned(&sig, &cfg);
+        assert_eq!(r.parts.len(), 2);
+        assert!(r.combined_val_mae.is_finite());
+        // The documented trade-off triangle:
+        assert!(r.cut_fraction > 0.0, "a 2-way split must cut something");
+        assert!(r.replication_factor >= 1.0);
+        assert!(
+            r.parallel_flops_fraction < 1.0,
+            "parallel critical path must beat whole-graph: {}",
+            r.parallel_flops_fraction
+        );
+        assert!(r.max_resident_bytes < r.whole_resident_bytes);
+    }
+
+    #[test]
+    fn single_part_matches_whole_graph_training() {
+        // k = 1 with no halo is exactly the unpartitioned pipeline.
+        let (spec, sig) = signal();
+        let mut cfg = PartitionedConfig::new(1, spec.horizon);
+        cfg.epochs = 2;
+        cfg.batch_size = 4;
+        let part = run_partitioned(&sig, &cfg);
+        assert_eq!(part.parts[0].halo, 0);
+        assert!((part.replication_factor - 1.0).abs() < 1e-9);
+        assert!((part.parallel_flops_fraction - 1.0).abs() < 1e-9);
+
+        // Whole-graph reference with identical settings and seed.
+        let ds = IndexDataset::from_signal(&sig, cfg.horizon, SplitRatios::default(), None);
+        let model = build_model(&ds, &sig, &cfg);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            seed: cfg.seed,
+            validate: false,
+            grad_clip: Some(5.0),
+        });
+        trainer.train(&model, &ds);
+        let whole = owned_val_mae(&model, &ds, sig.num_nodes(), cfg.batch_size);
+        let diff = (part.combined_val_mae - whole).abs();
+        assert!(
+            diff < 1e-5 * whole.abs().max(1.0),
+            "k=1 partitioned {} vs whole {}",
+            part.combined_val_mae,
+            whole
+        );
+    }
+
+    #[test]
+    fn strategies_all_run() {
+        let (spec, sig) = signal();
+        let coords = st_graph::generators::random_geometric(sig.num_nodes(), 10.0, 5).coords;
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::CoordinateBisection(coords),
+            PartitionStrategy::GreedyBfs,
+        ] {
+            let mut cfg = PartitionedConfig::new(2, spec.horizon);
+            cfg.epochs = 1;
+            cfg.batch_size = 4;
+            cfg.strategy = strategy;
+            let r = run_partitioned(&sig, &cfg);
+            assert!(r.combined_val_mae.is_finite());
+        }
+    }
+
+    #[test]
+    fn memory_composes_with_index_batching() {
+        // Partitioning divides the *entries × nodes* product; index-batching
+        // removes the horizon blow-up. Per-worker bytes must be close to
+        // (local_nodes / N) × whole-graph index bytes.
+        let sig = corridor_signal();
+        let mut cfg = PartitionedConfig::new(2, 4);
+        cfg.epochs = 1;
+        cfg.halo_depth = 1;
+        let r = run_partitioned(&sig, &cfg);
+        for p in &r.parts {
+            let local = p.owned + p.halo;
+            let expected =
+                r.whole_resident_bytes as f64 * local as f64 / sig.num_nodes() as f64;
+            let ratio = p.resident_bytes as f64 / expected;
+            assert!(
+                (0.8..=1.3).contains(&ratio),
+                "part {} resident {} vs expected {expected:.0}",
+                p.part,
+                p.resident_bytes
+            );
+        }
+    }
+}

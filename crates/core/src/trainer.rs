@@ -1,0 +1,454 @@
+//! The single-worker training loop (PGT workflow, §5.1).
+//!
+//! [`Trainer`] is batching-agnostic: it consumes any [`BatchSource`], so the
+//! same loop runs with standard (materialized) batching and index-batching —
+//! the apples-to-apples setup behind Table 3 and Fig. 5. Validation MAE is
+//! reported in original (un-standardized) units, like the paper.
+
+use crate::index_batching::IndexDataset;
+use st_autograd::loss;
+use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
+use st_autograd::Tape;
+use st_data::loader::Batcher;
+use st_data::preprocess::PreprocessOutput;
+use st_data::scaler::StandardScaler;
+use st_data::splits::SplitIndices;
+use st_models::Seq2Seq;
+use st_tensor::Tensor;
+
+/// Anything that can produce `(x, y)` minibatches from snapshot ids.
+pub trait BatchSource {
+    /// Total snapshots.
+    fn num_snapshots(&self) -> usize;
+    /// Train/val/test snapshot ranges.
+    fn splits(&self) -> &SplitIndices;
+    /// Assemble `[B, h, N, F]` x and y batches.
+    fn get_batch(&self, indices: &[usize]) -> (Tensor, Tensor);
+    /// The fitted scaler (for original-unit metrics).
+    fn scaler(&self) -> &StandardScaler;
+}
+
+impl BatchSource for IndexDataset {
+    fn num_snapshots(&self) -> usize {
+        IndexDataset::num_snapshots(self)
+    }
+
+    fn splits(&self) -> &SplitIndices {
+        IndexDataset::splits(self)
+    }
+
+    fn get_batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        self.batch(indices)
+    }
+
+    fn scaler(&self) -> &StandardScaler {
+        IndexDataset::scaler(self)
+    }
+}
+
+/// Standard-batching source over Algorithm-1 materialized arrays.
+pub struct MaterializedDataset {
+    out: PreprocessOutput,
+}
+
+impl MaterializedDataset {
+    /// Wrap a preprocessing result.
+    pub fn new(out: PreprocessOutput) -> Self {
+        MaterializedDataset { out }
+    }
+}
+
+impl BatchSource for MaterializedDataset {
+    fn num_snapshots(&self) -> usize {
+        self.out.x.dim(0)
+    }
+
+    fn splits(&self) -> &SplitIndices {
+        &self.out.splits
+    }
+
+    fn get_batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        (
+            self.out.x.index_select0(indices).expect("ids in range"),
+            self.out.y.index_select0(indices).expect("ids in range"),
+        )
+    }
+
+    fn scaler(&self) -> &StandardScaler {
+        &self.out.scaler
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Compute validation MAE each epoch.
+    pub validate: bool,
+    /// Optional global-norm gradient clip.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-2,
+            seed: 42,
+            validate: true,
+            grad_clip: Some(5.0),
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss (standardized MAE).
+    pub train_loss: f32,
+    /// Validation MAE in original units (NaN when validation is off).
+    pub val_mae: f32,
+    /// Wall-clock seconds for the epoch.
+    pub wall_secs: f64,
+}
+
+/// Full training record.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    /// Per-epoch stats.
+    pub epochs: Vec<EpochStats>,
+    /// Total wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+impl TrainingHistory {
+    /// Best (minimum) validation MAE across epochs.
+    pub fn best_val_mae(&self) -> f32 {
+        self.epochs
+            .iter()
+            .map(|e| e.val_mae)
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Final-epoch training loss.
+    pub fn final_train_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.train_loss).unwrap_or(f32::NAN)
+    }
+}
+
+/// The single-worker trainer.
+pub struct Trainer {
+    cfg: TrainerConfig,
+}
+
+impl Trainer {
+    /// New trainer from a config.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        Trainer { cfg }
+    }
+
+    /// The config.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Train `model` on `source`, returning the history.
+    pub fn train<M: Seq2Seq + ?Sized>(&self, model: &M, source: &dyn BatchSource) -> TrainingHistory {
+        let mut opt = Adam::new(model.params(), self.cfg.lr);
+        self.train_with_optimizer(model, source, &mut opt)
+    }
+
+    /// Train under a learning-rate schedule (DCRNN's multi-step decay, the
+    /// §5.3.3 warmup recipe, …): the schedule sets the rate at each epoch
+    /// boundary, then the epoch proceeds as usual.
+    pub fn train_with_schedule<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+        opt: &mut dyn Optimizer,
+        schedule: &dyn st_autograd::schedule::LrSchedule,
+    ) -> TrainingHistory {
+        let mut history = TrainingHistory::default();
+        let start = std::time::Instant::now();
+        for epoch in 0..self.cfg.epochs {
+            schedule.apply(opt, epoch);
+            history.epochs.push(self.train_epoch(model, source, opt, epoch));
+        }
+        history.wall_secs = start.elapsed().as_secs_f64();
+        history
+    }
+
+    /// One full epoch (train + optional validation) with `opt` as-is.
+    fn train_epoch<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+        opt: &mut dyn Optimizer,
+        epoch: usize,
+    ) -> EpochStats {
+        let e0 = std::time::Instant::now();
+        let train_ids: Vec<usize> = source.splits().train.clone().collect();
+        let batcher = Batcher::shuffled(train_ids, self.cfg.batch_size, self.cfg.seed, epoch as u64);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for batch_ids in batcher.batches() {
+            loss_sum += self.train_step(model, source, batch_ids, opt) as f64;
+            batches += 1;
+        }
+        let val_mae = if self.cfg.validate {
+            self.evaluate(model, source, source.splits().val.clone())
+        } else {
+            f32::NAN
+        };
+        EpochStats {
+            epoch,
+            train_loss: (loss_sum / batches.max(1) as f64) as f32,
+            val_mae,
+            wall_secs: e0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Train with an externally-configured optimizer (used by the LR-scaled
+    /// large-batch runs of §5.3.3).
+    pub fn train_with_optimizer<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+        opt: &mut dyn Optimizer,
+    ) -> TrainingHistory {
+        let start = std::time::Instant::now();
+        let mut history = TrainingHistory::default();
+        for epoch in 0..self.cfg.epochs {
+            history.epochs.push(self.train_epoch(model, source, opt, epoch));
+        }
+        history.wall_secs = start.elapsed().as_secs_f64();
+        history
+    }
+
+    /// One optimizer step on one batch; returns the (standardized) loss.
+    pub fn train_step<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+        batch_ids: &[usize],
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let (x, y) = source.get_batch(batch_ids);
+        let target = y.narrow(3, 0, 1).expect("output feature").contiguous();
+        opt.zero_grad();
+        let tape = Tape::new();
+        let pred = model.forward(&tape, &x);
+        let tgt = tape.constant(target);
+        let l = loss::mae(&pred, &tgt);
+        let value = l.value().item();
+        let grads = tape.backward(&l);
+        tape.accumulate_param_grads(&grads);
+        if let Some(clip) = self.cfg.grad_clip {
+            clip_grad_norm(&model.params(), clip);
+        }
+        opt.step();
+        value
+    }
+
+    /// MAE over a snapshot range, in original units.
+    pub fn evaluate<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+        range: std::ops::Range<usize>,
+    ) -> f32 {
+        let ids: Vec<usize> = range.collect();
+        if ids.is_empty() {
+            return f32::NAN;
+        }
+        let mut abs_sum = 0.0f64;
+        let mut count = 0usize;
+        for chunk in ids.chunks(self.cfg.batch_size) {
+            let (x, y) = source.get_batch(chunk);
+            let target = y.narrow(3, 0, 1).expect("output feature").contiguous();
+            let tape = Tape::new();
+            let pred = model.forward(&tape, &x);
+            let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
+            abs_sum += st_tensor::ops::abs(&diff).to_vec().iter().map(|&v| v as f64).sum::<f64>();
+            count += target.numel();
+        }
+        // Standardized MAE × σ = MAE in original units.
+        (abs_sum / count.max(1) as f64) as f32 * source.scaler().std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autograd::Module;
+    use st_data::datasets::{DatasetKind, DatasetSpec};
+    use st_data::splits::SplitRatios;
+    use st_data::synthetic;
+    use st_graph::diffusion_supports;
+    use st_models::{ModelConfig, PgtDcrnn, Support};
+
+    fn setup() -> (PgtDcrnn, IndexDataset) {
+        let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.3);
+        let sig = synthetic::generate(&spec, 11);
+        let ds = IndexDataset::from_signal(&sig, spec.horizon, SplitRatios::default(), None);
+        let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
+        let cfg = ModelConfig {
+            input_dim: ds.num_features(),
+            output_dim: 1,
+            hidden: 8,
+            num_nodes: ds.num_nodes(),
+            horizon: spec.horizon,
+            diffusion_steps: 2,
+            layers: 1,
+        };
+        (PgtDcrnn::new(cfg, &supports, 3), ds)
+    }
+
+    #[test]
+    fn scheduled_training_applies_decay() {
+        let (model, ds) = setup();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 4,
+            batch_size: 8,
+            lr: 0.01,
+            validate: false,
+            ..Default::default()
+        });
+        let mut opt = st_autograd::optim::Adam::new(model.params(), 0.01);
+        let schedule = st_autograd::schedule::StepLr {
+            base_lr: 0.01,
+            step_size: 2,
+            gamma: 0.1,
+        };
+        let h = trainer.train_with_schedule(&model, &ds, &mut opt, &schedule);
+        assert_eq!(h.epochs.len(), 4);
+        // After epoch 2 the schedule decays the rate to 0.001.
+        assert!((st_autograd::optim::Optimizer::lr(&opt) - 0.001).abs() < 1e-9);
+        assert!(h.final_train_loss().is_finite());
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        // Train 4 epochs straight vs 2 epochs + checkpoint + 2 resumed
+        // epochs: identical model state requires restoring Adam moments and
+        // continuing the shuffle sequence at the right epoch — exactly what
+        // Checkpoint + the epoch-indexed Batcher provide.
+        use st_autograd::optim::Adam;
+        use st_autograd::Checkpoint;
+        let straight = {
+            let (model, ds) = setup();
+            let trainer = Trainer::new(TrainerConfig {
+                epochs: 4,
+                batch_size: 8,
+                validate: false,
+                ..Default::default()
+            });
+            let mut opt = Adam::new(model.params(), 0.01);
+            trainer.train_with_optimizer(&model, &ds, &mut opt);
+            StateDictProbe::of(&model)
+        };
+        let resumed = {
+            let (model, ds) = setup();
+            let one = |epochs: std::ops::Range<usize>, opt: &mut Adam, model: &PgtDcrnn| {
+                let trainer = Trainer::new(TrainerConfig {
+                    epochs: 1,
+                    batch_size: 8,
+                    validate: false,
+                    ..Default::default()
+                });
+                for e in epochs {
+                    trainer.train_epoch(model, &ds, opt, e);
+                }
+            };
+            let mut opt = Adam::new(model.params(), 0.01);
+            one(0..2, &mut opt, &model);
+            let bytes = Checkpoint::capture(&model.params(), &opt, 2).to_bytes();
+            // "Restart": fresh model + optimizer, restore, finish.
+            let (model2, _) = setup();
+            let mut opt2 = Adam::new(model2.params(), 0.01);
+            let ck = Checkpoint::from_bytes(&bytes).unwrap();
+            let next = ck.restore(&model2.params(), &mut opt2).unwrap();
+            one(next as usize..4, &mut opt2, &model2);
+            StateDictProbe::of(&model2)
+        };
+        assert_eq!(straight, resumed, "resumed run must be bit-exact");
+    }
+
+    /// Flattened parameter snapshot for exact-equality assertions.
+    #[derive(PartialEq, Debug)]
+    struct StateDictProbe(Vec<Vec<f32>>);
+
+    impl StateDictProbe {
+        fn of(model: &PgtDcrnn) -> Self {
+            StateDictProbe(model.params().iter().map(|p| p.value().to_vec()).collect())
+        }
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (model, ds) = setup();
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 6,
+            batch_size: 8,
+            lr: 0.01,
+            validate: true,
+            ..Default::default()
+        });
+        let h = trainer.train(&model, &ds);
+        assert_eq!(h.epochs.len(), 6);
+        let first = h.epochs.first().unwrap().train_loss;
+        let last = h.epochs.last().unwrap().train_loss;
+        assert!(last < first, "loss must decrease: {first} -> {last}");
+        assert!(h.best_val_mae().is_finite());
+    }
+
+    #[test]
+    fn index_and_materialized_sources_agree_per_batch() {
+        // Same snapshots, same model ⇒ identical losses from either source
+        // modulo standardization fit (verified separately); here we check
+        // the materialized wrapper produces the right shapes and range.
+        let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.3);
+        let sig = synthetic::generate(&spec, 11);
+        let out = st_data::preprocess::materialized_xy(&sig, spec.horizon, SplitRatios::default());
+        let mat = MaterializedDataset::new(out);
+        let (x, y) = mat.get_batch(&[0, 1, 2]);
+        assert_eq!(x.dims()[0], 3);
+        assert_eq!(y.dims(), x.dims());
+        assert_eq!(mat.num_snapshots(), st_data::preprocess::num_snapshots(spec.entries, spec.horizon));
+    }
+
+    #[test]
+    fn evaluate_returns_original_units() {
+        let (model, ds) = setup();
+        let trainer = Trainer::new(TrainerConfig::default());
+        let mae = trainer.evaluate(&model, &ds, ds.splits().val.clone());
+        assert!(mae.is_finite() && mae >= 0.0);
+        // Untrained model on case-count data: MAE should be on the order of
+        // the data's std, not the standardized ~1.
+        assert!(mae > 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let (model, ds) = setup();
+            let trainer = Trainer::new(TrainerConfig {
+                epochs: 2,
+                batch_size: 8,
+                ..Default::default()
+            });
+            trainer.train(&model, &ds).final_train_loss()
+        };
+        assert_eq!(run(), run());
+    }
+}

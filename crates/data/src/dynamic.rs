@@ -1,0 +1,197 @@
+//! Dynamic graph with temporal signal — the paper's §7 future-work
+//! extension ("we plan to extend PGT-I to support additional spatiotemporal
+//! data structures such as dynamic graphs with temporal signal").
+//!
+//! The structure follows PGT's `DynamicGraphTemporalSignal`: node features
+//! evolve *and* the edge weights evolve, one adjacency per time step.
+//! Index-batching generalizes directly: snapshots remain index-addressed
+//! windows into the single feature array, and the per-step adjacencies are
+//! themselves index-addressed (no duplication across overlapping windows).
+
+use crate::signal::StaticGraphTemporalSignal;
+use st_graph::Adjacency;
+use st_tensor::Tensor;
+
+/// A graph whose features *and* topology evolve over time.
+#[derive(Debug, Clone)]
+pub struct DynamicGraphTemporalSignal {
+    /// Node features `[entries, nodes, features]`.
+    pub data: Tensor,
+    /// One weighted adjacency per time step (length = entries).
+    pub adjacencies: Vec<Adjacency>,
+}
+
+impl DynamicGraphTemporalSignal {
+    /// Construct, validating shapes.
+    pub fn new(data: Tensor, adjacencies: Vec<Adjacency>) -> Self {
+        assert_eq!(data.rank(), 3, "signal must be [entries, nodes, features]");
+        assert_eq!(
+            data.dim(0),
+            adjacencies.len(),
+            "need one adjacency per entry"
+        );
+        for (t, adj) in adjacencies.iter().enumerate() {
+            assert_eq!(
+                adj.num_nodes(),
+                data.dim(1),
+                "adjacency at t={t} has wrong node count"
+            );
+        }
+        DynamicGraphTemporalSignal { data, adjacencies }
+    }
+
+    /// Number of time entries.
+    pub fn entries(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.dim(1)
+    }
+
+    /// Number of node features.
+    pub fn num_features(&self) -> usize {
+        self.data.dim(2)
+    }
+
+    /// The adjacency at time `t` (index-addressed, never copied).
+    pub fn adjacency_at(&self, t: usize) -> &Adjacency {
+        &self.adjacencies[t]
+    }
+
+    /// An index-batching window: feature views `(x, y)` plus the *borrowed*
+    /// adjacency sequence for the x window — the dynamic-graph analogue of
+    /// `IndexDataset::snapshot`.
+    pub fn window(&self, start: usize, horizon: usize) -> (Tensor, Tensor, &[Adjacency]) {
+        let x = self
+            .data
+            .narrow(0, start, horizon)
+            .expect("window in range");
+        let y = self
+            .data
+            .narrow(0, start + horizon, horizon)
+            .expect("label window in range");
+        (x, y, &self.adjacencies[start..start + horizon])
+    }
+
+    /// Number of valid windows for `horizon`.
+    pub fn num_windows(&self, horizon: usize) -> usize {
+        crate::preprocess::num_snapshots(self.entries(), horizon)
+    }
+
+    /// Freeze the topology at `t` into a static-graph signal (for models
+    /// that require a fixed support set).
+    pub fn frozen_at(&self, t: usize) -> StaticGraphTemporalSignal {
+        StaticGraphTemporalSignal::new(self.data.clone(), self.adjacencies[t].clone())
+    }
+
+    /// Bytes of an index-batching layout for this structure: one feature
+    /// copy + per-step sparse adjacencies + window indices. Contrast with a
+    /// materializing layout, which would duplicate both features *and*
+    /// adjacency references `horizon`-fold.
+    pub fn index_layout_bytes(&self, horizon: usize, elem_bytes: usize) -> u64 {
+        let features = (self.data.numel() * elem_bytes) as u64;
+        let adj: u64 = self
+            .adjacencies
+            .iter()
+            .map(|a| (a.num_edges() * (elem_bytes + 2 * 8)) as u64)
+            .sum();
+        features + adj + self.num_windows(horizon) as u64 * 8
+    }
+}
+
+/// Generate a synthetic dynamic-topology traffic network: a base corridor
+/// whose edge weights are modulated per step (incidents closing lanes).
+pub fn synthetic_dynamic_traffic(
+    nodes: usize,
+    entries: usize,
+    seed: u64,
+) -> DynamicGraphTemporalSignal {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let net = st_graph::generators::highway_corridor(nodes, 1, seed);
+    let base = synthetic_base_signal(&net, entries, seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD1A);
+    let n = nodes;
+    let mut adjacencies = Vec::with_capacity(entries);
+    let mut weights = net.adjacency.weights().to_vec();
+    for _ in 0..entries {
+        // Occasionally degrade a random edge (incident) and slowly recover.
+        for w in weights.iter_mut() {
+            *w = (*w * 1.02).min(1.0);
+        }
+        if rng.gen_bool(0.05) {
+            let e = rng.gen_range(0..n * n);
+            weights[e] *= 0.2;
+        }
+        adjacencies.push(Adjacency::from_dense(n, weights.clone()));
+    }
+    DynamicGraphTemporalSignal::new(base, adjacencies)
+}
+
+fn synthetic_base_signal(
+    net: &st_graph::generators::SensorNetwork,
+    entries: usize,
+    seed: u64,
+) -> Tensor {
+    let sig = crate::synthetic::traffic::generate(net, entries, 288, seed);
+    sig.data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_share_adjacency_storage() {
+        let d = synthetic_dynamic_traffic(6, 30, 3);
+        let (x, y, adjs) = d.window(4, 3);
+        assert_eq!(x.dims(), &[3, 6, 1]);
+        assert_eq!(y.dims(), &[3, 6, 1]);
+        assert_eq!(adjs.len(), 3);
+        assert!(x.shares_storage(&d.data), "features stay zero-copy");
+        // Adjacency slice borrows the per-step list (pointer identity).
+        assert!(std::ptr::eq(&d.adjacencies[4], &adjs[0]));
+    }
+
+    #[test]
+    fn topology_actually_evolves() {
+        let d = synthetic_dynamic_traffic(8, 100, 9);
+        let first = d.adjacency_at(0).weights().to_vec();
+        let later = d.adjacency_at(99).weights().to_vec();
+        assert_ne!(first, later, "edge weights must change over time");
+    }
+
+    #[test]
+    fn window_count_matches_static_formula() {
+        let d = synthetic_dynamic_traffic(4, 25, 1);
+        assert_eq!(d.num_windows(3), 25 - 5);
+    }
+
+    #[test]
+    fn frozen_signal_is_trainable_shape() {
+        let d = synthetic_dynamic_traffic(5, 40, 2);
+        let frozen = d.frozen_at(0);
+        assert_eq!(frozen.entries(), 40);
+        assert_eq!(frozen.num_nodes(), 5);
+    }
+
+    #[test]
+    fn index_layout_grows_linearly_not_with_horizon() {
+        let d = synthetic_dynamic_traffic(5, 60, 4);
+        let h4 = d.index_layout_bytes(4, 8);
+        let h12 = d.index_layout_bytes(12, 8);
+        // Bigger horizon means *fewer* windows, so the layout shrinks
+        // slightly — the defining contrast with eq. (1) growth.
+        assert!(h12 <= h4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one adjacency per entry")]
+    fn mismatched_lengths_panic() {
+        let net = st_graph::generators::highway_corridor(3, 1, 1);
+        let data = Tensor::zeros([5, 3, 1]);
+        DynamicGraphTemporalSignal::new(data, vec![net.adjacency]);
+    }
+}

@@ -1,0 +1,196 @@
+//! The **baseline** spatiotemporal preprocessing pipeline (Algorithm 1).
+//!
+//! This is a faithful Rust port of the standard open-source workflow the
+//! paper analyzes (§2.3/§3.3): slide a window over the signal, *materialize*
+//! every `x` snapshot and its `y` label — duplicating `horizon − 1` entries
+//! per snapshot and duplicating everything again for `y` — stack the lists,
+//! then standardize on the training split. Its memory footprint follows the
+//! paper's eq. (1); index-batching (the `pgt-index` crate) replaces it with
+//! the eq. (2) layout.
+
+use crate::scaler::StandardScaler;
+use crate::signal::StaticGraphTemporalSignal;
+use crate::splits::SplitRatios;
+use st_tensor::{ops as t, Tensor};
+
+/// Result of the materializing pipeline.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutput {
+    /// Input snapshots `[S, horizon, nodes, features]`, standardized.
+    pub x: Tensor,
+    /// Label snapshots `[S, horizon, nodes, features]`, standardized.
+    pub y: Tensor,
+    /// The scaler fitted on the training portion of `x`.
+    pub scaler: StandardScaler,
+    /// Split ranges over the `S` snapshots.
+    pub splits: crate::splits::SplitIndices,
+}
+
+/// Number of `(x, y)` snapshot pairs produced by a window of `horizon` over
+/// `entries` time steps: `entries − (2·horizon − 1)`.
+pub fn num_snapshots(entries: usize, horizon: usize) -> usize {
+    entries.saturating_sub(2 * horizon - 1)
+}
+
+/// Algorithm 1: materialize `(x, y)` arrays, then standardize using the
+/// training-split statistics.
+pub fn materialized_xy(
+    signal: &StaticGraphTemporalSignal,
+    horizon: usize,
+    ratios: SplitRatios,
+) -> PreprocessOutput {
+    let entries = signal.entries();
+    let s = num_snapshots(entries, horizon);
+    assert!(s > 0, "signal too short for horizon {horizon}");
+
+    // Lines 4–9: extract every x window and its y window. Each append
+    // *copies* the slice — this is the data duplication the paper measures.
+    let mut xs: Vec<Tensor> = Vec::with_capacity(s);
+    let mut ys: Vec<Tensor> = Vec::with_capacity(s);
+    for start in 0..s {
+        let x = signal
+            .data
+            .narrow(0, start, horizon)
+            .expect("window in range")
+            .contiguous(); // explicit copy, as in the reference code
+        let y = signal
+            .data
+            .narrow(0, start + horizon, horizon)
+            .expect("label window in range")
+            .contiguous();
+        xs.push(x);
+        ys.push(y);
+    }
+
+    // Lines 12–13: stack into [S, h, N, F] (another full copy each).
+    let x_refs: Vec<&Tensor> = xs.iter().collect();
+    let y_refs: Vec<&Tensor> = ys.iter().collect();
+    let x = t::stack0(&x_refs).expect("equal window shapes");
+    let y = t::stack0(&y_refs).expect("equal window shapes");
+
+    // Lines 15–20: standardize with training-split statistics.
+    let splits = ratios.split(s);
+    let x_train = x
+        .narrow(0, splits.train.start, splits.train.len().max(1))
+        .expect("train range");
+    let scaler = StandardScaler::fit(&x_train);
+    let x = scaler.transform(&x);
+    let y = scaler.transform(&y);
+
+    PreprocessOutput {
+        x,
+        y,
+        scaler,
+        splits,
+    }
+}
+
+/// Paper eq. (1): bytes of the materialized `(x, y)` arrays.
+/// `2 × (entries − (2·horizon − 1)) × horizon × nodes × features × elem`.
+pub fn materialized_bytes(
+    entries: usize,
+    horizon: usize,
+    nodes: usize,
+    features: usize,
+    elem_bytes: usize,
+) -> u64 {
+    2 * (num_snapshots(entries, horizon) as u64)
+        * horizon as u64
+        * nodes as u64
+        * features as u64
+        * elem_bytes as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::Adjacency;
+
+    fn signal(entries: usize, nodes: usize) -> StaticGraphTemporalSignal {
+        let adj = Adjacency::from_dense(nodes, vec![1.0; nodes * nodes]);
+        let data = Tensor::arange(entries * nodes)
+            .reshape([entries, nodes, 1])
+            .unwrap();
+        StaticGraphTemporalSignal::new(data, adj)
+    }
+
+    #[test]
+    fn snapshot_count_matches_formula() {
+        // Fig. 1 of the paper: 5 graphs, horizon 3 -> wait, the figure shows
+        // 3 snapshots because it slides only x; with y-pairs at horizon 3 a
+        // 12-entry series yields 12 - 5 = 7 pairs.
+        assert_eq!(num_snapshots(12, 3), 7);
+        assert_eq!(num_snapshots(522, 4), 515);
+        assert_eq!(num_snapshots(105_120, 12), 105_097);
+    }
+
+    #[test]
+    fn windows_align_x_and_y() {
+        let sig = signal(10, 1);
+        let out = materialized_xy(&sig, 2, SplitRatios::default());
+        let s = num_snapshots(10, 2);
+        assert_eq!(out.x.dims(), &[s, 2, 1, 1]);
+        assert_eq!(out.y.dims(), &[s, 2, 1, 1]);
+        // Before standardization x[i] = data[i..i+2], y[i] = data[i+2..i+4];
+        // verify through the scaler inverse.
+        let x0 = out.scaler.inverse(&out.x.select(0, 0).unwrap());
+        let y0 = out.scaler.inverse(&out.y.select(0, 0).unwrap());
+        assert_eq!(x0.to_vec(), vec![0.0, 1.0]);
+        assert_eq!(y0.to_vec(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn standardization_uses_train_stats_only() {
+        let sig = signal(30, 1);
+        let out = materialized_xy(&sig, 2, SplitRatios::default());
+        // Training x values must be (approximately) zero-mean.
+        let train = out
+            .x
+            .narrow(0, out.splits.train.start, out.splits.train.len())
+            .unwrap();
+        assert!(st_tensor::ops::mean_all(&train).abs() < 0.2);
+        // The overall x mean is positive (later snapshots are larger).
+        assert!(st_tensor::ops::mean_all(&out.x) > 0.0);
+    }
+
+    #[test]
+    fn eq1_matches_actual_materialized_size() {
+        let (e, n, h) = (40, 3, 4);
+        let sig = signal(e, n);
+        let out = materialized_xy(&sig, h, SplitRatios::default());
+        let actual = ((out.x.numel() + out.y.numel()) * 8) as u64;
+        assert_eq!(actual, materialized_bytes(e, h, n, 1, 8));
+    }
+
+    #[test]
+    fn eq1_reproduces_table1_pems() {
+        // PeMS: 419.46 GB after preprocessing (float64, horizon 12,
+        // 11160 nodes, 2 features, 105120 entries).
+        let bytes = materialized_bytes(105_120, 12, 11_160, 2, 8);
+        let gib = bytes as f64 / (1u64 << 30) as f64;
+        assert!((gib - 419.46).abs() < 0.5, "PeMS after-size: {gib} GiB");
+    }
+
+    #[test]
+    fn eq1_reproduces_table1_all_rows() {
+        // (entries, horizon, nodes, features, expected, tolerance-frac)
+        let rows: [(usize, usize, usize, usize, f64, f64); 5] = [
+            // Windmill-Large: 712.80 MB decimal.
+            (17_472, 8, 319, 1, 712.80e6, 0.01),
+            // METR-LA: 2.54 GB (GiB).
+            (34_272, 12, 207, 2, 2.54 * (1u64 << 30) as f64, 0.01),
+            // PeMS-BAY: 6.05 GiB.
+            (52_105, 12, 325, 2, 6.05 * (1u64 << 30) as f64, 0.01),
+            // PeMS-All-LA: 102.08 GiB.
+            (105_120, 12, 2_716, 2, 102.08 * (1u64 << 30) as f64, 0.01),
+            // Chickenpox: 657.92 KB decimal (±1%: the paper's own text
+            // says "643 KB" elsewhere; our formula gives 659.2 KB).
+            (522, 4, 20, 1, 657.92e3, 0.02),
+        ];
+        for (e, h, n, f, expect, tol) in rows {
+            let got = materialized_bytes(e, h, n, f, 8) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < tol, "entries {e}: got {got}, expect {expect}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Z-score standardization fitted on the training split (Algorithm 1,
+//! lines 16–20): `x' = (x − μ) / σ` with μ, σ computed from `x_train` only,
+//! so no information leaks from validation/test into the normalizer.
+
+use serde::{Deserialize, Serialize};
+use st_tensor::{ops as t, Tensor};
+
+/// Mean/std standardizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    /// Fitted mean.
+    pub mean: f32,
+    /// Fitted standard deviation (lower-bounded away from zero).
+    pub std: f32,
+}
+
+impl StandardScaler {
+    /// Fit on a tensor (typically the training portion of the signal).
+    pub fn fit(train: &Tensor) -> Self {
+        let mean = t::mean_all(train);
+        let std = t::std_all(train).max(1e-6);
+        StandardScaler { mean, std }
+    }
+
+    /// Identity scaler (useful for already-normalized signals).
+    pub fn identity() -> Self {
+        StandardScaler {
+            mean: 0.0,
+            std: 1.0,
+        }
+    }
+
+    /// Standardize.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        t::mul_scalar(&t::add_scalar(x, -self.mean), 1.0 / self.std)
+    }
+
+    /// Undo standardization (used to report MAE in original units).
+    pub fn inverse(&self, x: &Tensor) -> Tensor {
+        t::add_scalar(&t::mul_scalar(x, self.std), self.mean)
+    }
+
+    /// Map a scalar value back to original units.
+    pub fn inverse_scalar(&self, v: f32) -> f32 {
+        v * self.std + self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_standardizes() {
+        let x = Tensor::from_slice(&[2.0, 4.0, 6.0, 8.0]);
+        let s = StandardScaler::fit(&x);
+        assert!((s.mean - 5.0).abs() < 1e-6);
+        let z = s.transform(&x);
+        assert!(t::mean_all(&z).abs() < 1e-6);
+        assert!((t::std_all(&z) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let x = Tensor::from_slice(&[1.0, 5.0, 9.0]);
+        let s = StandardScaler::fit(&x);
+        let back = s.inverse(&s.transform(&x));
+        assert!(back.allclose(&x, 1e-5));
+    }
+
+    #[test]
+    fn constant_signal_does_not_divide_by_zero() {
+        let x = Tensor::from_slice(&[3.0, 3.0, 3.0]);
+        let s = StandardScaler::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.to_vec().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let s = StandardScaler::identity();
+        assert_eq!(s.transform(&x).to_vec(), x.to_vec());
+    }
+}

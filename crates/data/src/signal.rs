@@ -1,0 +1,129 @@
+//! The spatiotemporal signal container.
+//!
+//! Follows PGT's *static graph with temporal signal* representation (§2.2):
+//! a fixed weighted graph plus a `[entries, nodes, features]` array of node
+//! features over time. This is the object both preprocessing pipelines
+//! (standard SWA and index-batching) consume.
+
+use st_graph::Adjacency;
+use st_tensor::Tensor;
+
+/// A static graph whose node features evolve over time.
+#[derive(Debug, Clone)]
+pub struct StaticGraphTemporalSignal {
+    /// Node features, shape `[entries, nodes, features]`.
+    pub data: Tensor,
+    /// The (static) weighted adjacency.
+    pub adjacency: Adjacency,
+}
+
+impl StaticGraphTemporalSignal {
+    /// Construct, validating shapes.
+    pub fn new(data: Tensor, adjacency: Adjacency) -> Self {
+        assert_eq!(data.rank(), 3, "signal must be [entries, nodes, features]");
+        assert_eq!(
+            data.dim(1),
+            adjacency.num_nodes(),
+            "node count must match adjacency"
+        );
+        StaticGraphTemporalSignal { data, adjacency }
+    }
+
+    /// Number of time entries.
+    pub fn entries(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.data.dim(1)
+    }
+
+    /// Number of node features.
+    pub fn num_features(&self) -> usize {
+        self.data.dim(2)
+    }
+
+    /// The graph state at time `t` as a `[nodes, features]` view.
+    pub fn graph_at(&self, t: usize) -> Tensor {
+        self.data.select(0, t).expect("t in range")
+    }
+
+    /// Raw data size in bytes at the given element width (float64 in the
+    /// paper's Table 1; float32 in our measured runs).
+    pub fn size_bytes(&self, elem_bytes: usize) -> u64 {
+        (self.entries() * self.num_nodes() * self.num_features() * elem_bytes) as u64
+    }
+
+    /// Append a time-of-day feature column (stage 1 of the paper's Fig. 3:
+    /// "added data from including time-of-day information as a transposed
+    /// matrix"). `period` is the number of entries in one day/week cycle.
+    pub fn with_time_feature(&self, period: usize) -> StaticGraphTemporalSignal {
+        let e = self.entries();
+        let n = self.num_nodes();
+        let f = self.num_features();
+        let src = self.data.to_vec();
+        let mut out = Vec::with_capacity(e * n * (f + 1));
+        for t in 0..e {
+            let tod = (t % period) as f32 / period as f32;
+            for node in 0..n {
+                let base = (t * n + node) * f;
+                out.extend_from_slice(&src[base..base + f]);
+                out.push(tod);
+            }
+        }
+        StaticGraphTemporalSignal {
+            data: Tensor::from_vec(out, [e, n, f + 1]).expect("matching numel"),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_signal() -> StaticGraphTemporalSignal {
+        let adj = Adjacency::from_dense(2, vec![1.0, 0.5, 0.5, 1.0]);
+        let data = Tensor::arange(2 * 2 * 1).reshape([2, 2, 1]).unwrap();
+        StaticGraphTemporalSignal::new(data, adj)
+    }
+
+    #[test]
+    fn dimensions() {
+        let s = tiny_signal();
+        assert_eq!(s.entries(), 2);
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.num_features(), 1);
+        assert_eq!(s.size_bytes(8), 32);
+    }
+
+    #[test]
+    fn graph_at_is_a_view() {
+        let s = tiny_signal();
+        let g = s.graph_at(1);
+        assert_eq!(g.dims(), &[2, 1]);
+        assert_eq!(g.to_vec(), vec![2.0, 3.0]);
+        assert!(g.shares_storage(&s.data), "must be zero-copy");
+    }
+
+    #[test]
+    fn time_feature_appends_normalized_phase() {
+        let s = tiny_signal();
+        let aug = s.with_time_feature(2);
+        assert_eq!(aug.num_features(), 2);
+        // t=0 -> phase 0.0; t=1 -> phase 0.5.
+        assert_eq!(aug.data.at(&[0, 0, 1]), 0.0);
+        assert_eq!(aug.data.at(&[1, 0, 1]), 0.5);
+        // Original feature preserved.
+        assert_eq!(aug.data.at(&[1, 1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn mismatched_adjacency_panics() {
+        let adj = Adjacency::from_dense(3, vec![0.0; 9]);
+        let data = Tensor::zeros([2, 2, 1]);
+        StaticGraphTemporalSignal::new(data, adj);
+    }
+}

@@ -1,0 +1,28 @@
+//! # st-device
+//!
+//! Simulated device substrate replacing the paper's physical Polaris node
+//! (AMD EPYC host + 4×NVIDIA A100) with an analytically modeled one:
+//!
+//! - [`memory`] — capacity-limited, peak-tracked memory pools with **real**
+//!   and **virtual** accounting modes. Virtual mode registers byte counts
+//!   without touching RAM, which is how this repo reproduces the paper's
+//!   512 GB-host OOM crashes (Figs 2 and 6) for the 419.46 GB preprocessed
+//!   PeMS dataset on a 21 GB container.
+//! - [`clock`] — a simulated clock accumulating modeled seconds.
+//! - [`costmodel`] — analytic compute / transfer / network / IO costs
+//!   calibrated to A100-, PCIe-, NVLink- and Slingshot-class constants.
+//! - [`profiler`] — memory-timeline sampling, standing in for psutil/pynvml.
+
+pub mod clock;
+pub mod costmodel;
+pub mod device;
+pub mod memory;
+pub mod profiler;
+pub mod transfer;
+
+pub use clock::SimClock;
+pub use costmodel::CostModel;
+pub use device::{DeviceKind, DeviceSpec, GIB, MIB};
+pub use memory::{AllocError, Allocation, MemPool, PoolMode};
+pub use profiler::MemTimeline;
+pub use transfer::TransferLedger;

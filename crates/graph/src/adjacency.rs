@@ -1,0 +1,165 @@
+//! Dense weighted adjacency matrices for sensor networks.
+//!
+//! The paper (§2.1) builds the weighted adjacency from sensor coordinates:
+//! pairwise distances pass through a Gaussian kernel
+//! `w_ij = exp(-d_ij² / σ²)` and weights below a threshold `κ` are dropped —
+//! the construction introduced by DCRNN (Li et al. 2018) and reused by PGT.
+
+use st_tensor::Tensor;
+
+/// A dense `N×N` weighted adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    n: usize,
+    weights: Vec<f32>,
+}
+
+impl Adjacency {
+    /// Build from a row-major weight buffer.
+    pub fn from_dense(n: usize, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), n * n, "adjacency must be n*n");
+        Adjacency { n, weights }
+    }
+
+    /// Gaussian-kernel adjacency from 2-D sensor coordinates.
+    ///
+    /// `sigma` defaults to the std-dev of the distance distribution when
+    /// `None`, matching the DCRNN preprocessing script; weights below
+    /// `threshold` are zeroed.
+    pub fn from_coordinates(coords: &[(f32, f32)], sigma: Option<f32>, threshold: f32) -> Self {
+        let n = coords.len();
+        let mut dist = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        let sigma = sigma.unwrap_or_else(|| {
+            let mean = dist.iter().sum::<f32>() / (n * n) as f32;
+            let var = dist.iter().map(|d| (d - mean).powi(2)).sum::<f32>() / (n * n) as f32;
+            var.sqrt().max(1e-6)
+        });
+        let s2 = sigma * sigma;
+        let weights = dist
+            .iter()
+            .map(|&d| {
+                let w = (-d * d / s2).exp();
+                if w < threshold {
+                    0.0
+                } else {
+                    w
+                }
+            })
+            .collect();
+        Adjacency { n, weights }
+    }
+
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of edge `i → j`.
+    pub fn weight(&self, i: usize, j: usize) -> f32 {
+        self.weights[i * self.n + j]
+    }
+
+    /// Row-major weight buffer.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Number of non-zero directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0.0).count()
+    }
+
+    /// As a dense tensor `[N, N]`.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.weights.clone(), [self.n, self.n]).expect("n*n buffer")
+    }
+
+    /// Out-degree (row sum) of each node.
+    pub fn out_degrees(&self) -> Vec<f32> {
+        (0..self.n)
+            .map(|i| self.weights[i * self.n..(i + 1) * self.n].iter().sum())
+            .collect()
+    }
+
+    /// Transpose (reverse all edges).
+    pub fn transpose(&self) -> Adjacency {
+        let mut w = vec![0.0f32; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                w[j * self.n + i] = self.weights[i * self.n + j];
+            }
+        }
+        Adjacency {
+            n: self.n,
+            weights: w,
+        }
+    }
+
+    /// Make the adjacency symmetric by averaging with its transpose.
+    pub fn symmetrized(&self) -> Adjacency {
+        let t = self.transpose();
+        let weights = self
+            .weights
+            .iter()
+            .zip(t.weights.iter())
+            .map(|(a, b)| 0.5 * (a + b))
+            .collect();
+        Adjacency {
+            n: self.n,
+            weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_properties() {
+        let coords = vec![(0.0, 0.0), (1.0, 0.0), (10.0, 0.0)];
+        let adj = Adjacency::from_coordinates(&coords, Some(2.0), 0.01);
+        // Self-distance 0 → weight 1.
+        assert!((adj.weight(0, 0) - 1.0).abs() < 1e-6);
+        // Closer pairs have higher weight.
+        assert!(adj.weight(0, 1) > adj.weight(0, 2));
+        // Distance 10 with sigma 2 → weight e^{-25} ≈ 0, thresholded away.
+        assert_eq!(adj.weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn auto_sigma_is_positive_and_produces_edges() {
+        let coords: Vec<(f32, f32)> = (0..10).map(|i| (i as f32, 0.0)).collect();
+        let adj = Adjacency::from_coordinates(&coords, None, 0.1);
+        assert!(adj.num_edges() >= 10, "at least the self-loops survive");
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let adj = Adjacency::from_dense(2, vec![0.0, 1.0, 0.0, 0.0]);
+        let t = adj.transpose();
+        assert_eq!(t.weight(1, 0), 1.0);
+        assert_eq!(t.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let adj = Adjacency::from_dense(2, vec![0.0, 2.0, 0.0, 0.0]);
+        let s = adj.symmetrized();
+        assert_eq!(s.weight(0, 1), 1.0);
+        assert_eq!(s.weight(1, 0), 1.0);
+    }
+
+    #[test]
+    fn degrees_sum_rows() {
+        let adj = Adjacency::from_dense(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(adj.out_degrees(), vec![3.0, 7.0]);
+    }
+}

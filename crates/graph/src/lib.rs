@@ -1,0 +1,18 @@
+//! # st-graph
+//!
+//! Graph substrate for the PGT-I reproduction: sensor-network adjacency
+//! construction (Gaussian kernel over road/geodesic distances, as in DCRNN),
+//! CSR sparse matrices with sparse×dense products, and the diffusion /
+//! Laplacian transition operators the ST-GNN model zoo consumes.
+
+pub mod adjacency;
+pub mod partition;
+pub mod csr;
+pub mod generators;
+pub mod transition;
+
+pub use adjacency::Adjacency;
+pub use partition::{Partitioning, Subgraph};
+pub use csr::Csr;
+pub use generators::SensorNetwork;
+pub use transition::{diffusion_supports, sym_norm_adjacency};

@@ -1,0 +1,516 @@
+//! Graph partitioning (paper §7 future work).
+//!
+//! The paper's conclusion proposes "the integration of index-batching with
+//! graph partitioning, potentially yielding further speedups at a potential
+//! cost to accuracy" — the approach of Mallick et al. \[37\], who train one
+//! DCRNN per spatial partition. This module provides the graph side of that
+//! integration: partitioners, cut-quality metrics, and halo-augmented
+//! induced subgraphs. The training-side integration lives in
+//! `pgt-index::partitioned`.
+//!
+//! Three partitioners cover the design space:
+//! - [`Partitioning::contiguous`] — index blocks; the trivial baseline.
+//! - [`Partitioning::coordinate_bisection`] — recursive coordinate
+//!   bisection over sensor positions (spatially compact, well balanced);
+//!   sensor networks embed in the plane, so geometry is a strong proxy for
+//!   the Gaussian-kernel edge structure.
+//! - [`Partitioning::greedy_bfs`] — seeded region growing over the actual
+//!   weighted edges (METIS-flavored, topology-aware).
+
+use crate::adjacency::Adjacency;
+use std::collections::VecDeque;
+
+/// An assignment of every graph node to one of `k` parts.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    assignment: Vec<usize>,
+    k: usize,
+}
+
+impl Partitioning {
+    /// Wrap an explicit assignment (must reference parts `< k` only).
+    pub fn from_assignment(assignment: Vec<usize>, k: usize) -> Self {
+        assert!(k > 0, "need at least one part");
+        assert!(
+            assignment.iter().all(|&p| p < k),
+            "assignment references a part >= k"
+        );
+        Partitioning { assignment, k }
+    }
+
+    /// Contiguous index blocks: nodes `[i·n/k, (i+1)·n/k)` form part `i`.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k <= n, "need 0 < k <= n");
+        let per = n.div_ceil(k);
+        let assignment = (0..n).map(|i| (i / per).min(k - 1)).collect();
+        Partitioning { assignment, k }
+    }
+
+    /// Recursive coordinate bisection: repeatedly split along the widest
+    /// spatial axis at a rank proportional to the part counts. Produces
+    /// spatially compact, near-perfectly balanced parts.
+    pub fn coordinate_bisection(coords: &[(f32, f32)], k: usize) -> Self {
+        assert!(k > 0 && k <= coords.len(), "need 0 < k <= n");
+        let mut assignment = vec![0usize; coords.len()];
+        let mut ids: Vec<usize> = (0..coords.len()).collect();
+        rcb(coords, &mut ids, k, 0, &mut assignment);
+        Partitioning {
+            assignment,
+            k,
+        }
+    }
+
+    /// Seeded BFS region growing over the weighted edges: `k` seeds are
+    /// spread greedily (farthest-first over hop distance), then regions
+    /// claim unassigned neighbors round-robin, capped at `⌈n/k⌉` nodes.
+    /// Stranded nodes (disconnected from every capped region) fall back to
+    /// the smallest part.
+    pub fn greedy_bfs(adj: &Adjacency, k: usize) -> Self {
+        let n = adj.num_nodes();
+        assert!(k > 0 && k <= n, "need 0 < k <= n");
+        let neighbors = undirected_neighbors(adj);
+        let seeds = farthest_first_seeds(&neighbors, k);
+        let cap = n.div_ceil(k);
+        let mut assignment = vec![usize::MAX; n];
+        let mut sizes = vec![0usize; k];
+        let mut frontiers: Vec<VecDeque<usize>> = seeds
+            .iter()
+            .map(|&s| VecDeque::from([s]))
+            .collect();
+        for (p, &s) in seeds.iter().enumerate() {
+            assignment[s] = p;
+            sizes[p] = 1;
+        }
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for p in 0..k {
+                if sizes[p] >= cap {
+                    continue;
+                }
+                while let Some(u) = frontiers[p].pop_front() {
+                    let mut claimed = false;
+                    for &v in &neighbors[u] {
+                        if assignment[v] == usize::MAX {
+                            assignment[v] = p;
+                            sizes[p] += 1;
+                            frontiers[p].push_back(v);
+                            claimed = true;
+                            progress = true;
+                            if sizes[p] >= cap {
+                                break;
+                            }
+                        }
+                    }
+                    if claimed {
+                        // Revisit u later: it may still have unassigned
+                        // neighbors once other regions hit their caps.
+                        frontiers[p].push_back(u);
+                        break;
+                    }
+                }
+            }
+        }
+        // Stranded nodes: put each in the currently smallest part.
+        for a in assignment.iter_mut() {
+            if *a == usize::MAX {
+                let p = (0..k).min_by_key(|&p| sizes[p]).unwrap();
+                *a = p;
+                sizes[p] += 1;
+            }
+        }
+        Partitioning { assignment, k }
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The part of node `i`.
+    pub fn part_of(&self, i: usize) -> usize {
+        self.assignment[i]
+    }
+
+    /// The full assignment slice.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Node ids owned by part `p`, ascending.
+    pub fn part_nodes(&self, p: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == p).then_some(i))
+            .collect()
+    }
+
+    /// Sizes of every part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Load imbalance: `max part size / (n / k)` (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.part_sizes();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        max / (self.num_nodes() as f64 / self.k as f64)
+    }
+
+    /// Total weight of edges whose endpoints live in different parts.
+    pub fn edge_cut_weight(&self, adj: &Adjacency) -> f64 {
+        let n = adj.num_nodes();
+        let mut cut = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let w = adj.weight(i, j);
+                if w > 0.0 && self.assignment[i] != self.assignment[j] {
+                    cut += w as f64;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Fraction of (weighted) edges cut by the partitioning.
+    pub fn cut_fraction(&self, adj: &Adjacency) -> f64 {
+        let n = adj.num_nodes();
+        let mut total = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let w = adj.weight(i, j);
+                if w > 0.0 && i != j {
+                    total += w as f64;
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            self.edge_cut_weight(adj) / total
+        }
+    }
+
+    /// The halo-augmented induced subgraph of part `p`: owned nodes first,
+    /// then halo nodes within `halo_depth` hops (the neighbors partition-
+    /// boundary diffusion convolutions need — depth should be ≥ the model's
+    /// diffusion steps K).
+    pub fn subgraph(&self, adj: &Adjacency, p: usize, halo_depth: usize) -> Subgraph {
+        let owned = self.part_nodes(p);
+        let halo = halo_nodes(adj, &owned, halo_depth);
+        let mut nodes = owned.clone();
+        nodes.extend_from_slice(&halo);
+        let local_adj = induced_subgraph(adj, &nodes);
+        Subgraph {
+            part: p,
+            owned_count: owned.len(),
+            global_ids: nodes,
+            adjacency: local_adj,
+        }
+    }
+
+    /// All `k` halo-augmented subgraphs.
+    pub fn subgraphs(&self, adj: &Adjacency, halo_depth: usize) -> Vec<Subgraph> {
+        (0..self.k).map(|p| self.subgraph(adj, p, halo_depth)).collect()
+    }
+
+    /// Replication factor: `Σ_p |owned_p ∪ halo_p| / n` — how much node
+    /// (and therefore feature) duplication the partitioned layout pays.
+    pub fn replication_factor(&self, adj: &Adjacency, halo_depth: usize) -> f64 {
+        let total: usize = self
+            .subgraphs(adj, halo_depth)
+            .iter()
+            .map(|s| s.global_ids.len())
+            .sum();
+        total as f64 / self.num_nodes() as f64
+    }
+}
+
+/// One part's halo-augmented induced subgraph.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Which part this is.
+    pub part: usize,
+    /// The first `owned_count` entries of `global_ids` are owned; the rest
+    /// are halo (read-only context for boundary convolutions).
+    pub owned_count: usize,
+    /// Local id → global node id.
+    pub global_ids: Vec<usize>,
+    /// Induced weighted adjacency over `global_ids` (local indexing).
+    pub adjacency: Adjacency,
+}
+
+impl Subgraph {
+    /// Number of local nodes (owned + halo).
+    pub fn num_nodes(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Number of halo nodes.
+    pub fn halo_count(&self) -> usize {
+        self.global_ids.len() - self.owned_count
+    }
+
+    /// Owned global ids.
+    pub fn owned_global_ids(&self) -> &[usize] {
+        &self.global_ids[..self.owned_count]
+    }
+}
+
+/// Undirected neighbor lists over non-zero weights (either direction).
+fn undirected_neighbors(adj: &Adjacency) -> Vec<Vec<usize>> {
+    let n = adj.num_nodes();
+    let mut out = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && (adj.weight(i, j) > 0.0 || adj.weight(j, i) > 0.0) {
+                out[i].push(j);
+            }
+        }
+    }
+    out
+}
+
+/// Greedy farthest-first seed spreading over hop distance.
+fn farthest_first_seeds(neighbors: &[Vec<usize>], k: usize) -> Vec<usize> {
+    let n = neighbors.len();
+    let mut seeds = vec![0usize];
+    let mut dist = bfs_distances(neighbors, 0);
+    while seeds.len() < k {
+        // Unreachable nodes (usize::MAX) are the farthest of all — picking
+        // them first gives every component a seed.
+        let next = (0..n)
+            .filter(|i| !seeds.contains(i))
+            .max_by_key(|&i| dist[i])
+            .expect("k <= n leaves a candidate");
+        seeds.push(next);
+        let d2 = bfs_distances(neighbors, next);
+        for i in 0..n {
+            dist[i] = dist[i].min(d2[i]);
+        }
+    }
+    seeds
+}
+
+fn bfs_distances(neighbors: &[Vec<usize>], src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; neighbors.len()];
+    dist[src] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &v in &neighbors[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `depth` hops of `owned` that are not themselves owned,
+/// ascending. Depth 0 returns an empty halo.
+pub fn halo_nodes(adj: &Adjacency, owned: &[usize], depth: usize) -> Vec<usize> {
+    let n = adj.num_nodes();
+    let neighbors = undirected_neighbors(adj);
+    let mut level = vec![usize::MAX; n];
+    let mut q: VecDeque<usize> = VecDeque::new();
+    for &o in owned {
+        level[o] = 0;
+        q.push_back(o);
+    }
+    let mut halo = Vec::new();
+    while let Some(u) = q.pop_front() {
+        if level[u] >= depth {
+            continue;
+        }
+        for &v in &neighbors[u] {
+            if level[v] == usize::MAX {
+                level[v] = level[u] + 1;
+                halo.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    halo.sort_unstable();
+    halo
+}
+
+/// The induced weighted adjacency over `nodes` (local indexing follows the
+/// order of `nodes`).
+pub fn induced_subgraph(adj: &Adjacency, nodes: &[usize]) -> Adjacency {
+    let m = nodes.len();
+    let mut weights = vec![0.0f32; m * m];
+    for (li, &gi) in nodes.iter().enumerate() {
+        for (lj, &gj) in nodes.iter().enumerate() {
+            weights[li * m + lj] = adj.weight(gi, gj);
+        }
+    }
+    Adjacency::from_dense(m, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{highway_corridor, random_geometric};
+
+    fn net() -> crate::generators::SensorNetwork {
+        random_geometric(40, 10.0, 7)
+    }
+
+    #[test]
+    fn contiguous_covers_and_balances() {
+        let p = Partitioning::contiguous(10, 3);
+        assert_eq!(p.part_sizes(), vec![4, 4, 2]);
+        let all: Vec<usize> = (0..3).flat_map(|k| p.part_nodes(k)).collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcb_is_balanced_and_spatially_compact() {
+        let n = net();
+        let p = Partitioning::coordinate_bisection(&n.coords, 4);
+        assert!(p.imbalance() <= 1.11, "imbalance {}", p.imbalance());
+        // Spatial compactness: RCB must cut fewer weighted edges than an
+        // arbitrary contiguous-index split of the same node set.
+        let naive = Partitioning::contiguous(n.num_nodes(), 4);
+        assert!(
+            p.edge_cut_weight(&n.adjacency) <= naive.edge_cut_weight(&n.adjacency),
+            "rcb {} vs naive {}",
+            p.edge_cut_weight(&n.adjacency),
+            naive.edge_cut_weight(&n.adjacency)
+        );
+    }
+
+    #[test]
+    fn rcb_handles_non_power_of_two() {
+        let n = net();
+        let p = Partitioning::coordinate_bisection(&n.coords, 3);
+        assert_eq!(p.num_parts(), 3);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        assert!(p.imbalance() <= 1.2, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn greedy_bfs_covers_all_nodes() {
+        let n = net();
+        let p = Partitioning::greedy_bfs(&n.adjacency, 4);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 40);
+        assert!(p.part_sizes().iter().all(|&s| s > 0), "{:?}", p.part_sizes());
+        assert!(p.imbalance() <= 1.6, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn corridor_bfs_cut_is_small() {
+        // A 1-D corridor partitioned into k consecutive regions should cut
+        // only the few edges spanning region boundaries.
+        let n = highway_corridor(30, 1, 3);
+        let p = Partitioning::greedy_bfs(&n.adjacency, 3);
+        assert!(
+            p.cut_fraction(&n.adjacency) < 0.35,
+            "cut fraction {}",
+            p.cut_fraction(&n.adjacency)
+        );
+    }
+
+    #[test]
+    fn halo_depth_zero_is_empty_and_grows_with_depth() {
+        let n = net();
+        let p = Partitioning::coordinate_bisection(&n.coords, 4);
+        let owned = p.part_nodes(0);
+        assert!(halo_nodes(&n.adjacency, &owned, 0).is_empty());
+        let h1 = halo_nodes(&n.adjacency, &owned, 1);
+        let h2 = halo_nodes(&n.adjacency, &owned, 2);
+        assert!(h1.len() <= h2.len());
+        // Halo never contains owned nodes.
+        assert!(h1.iter().all(|h| !owned.contains(h)));
+    }
+
+    #[test]
+    fn subgraph_orders_owned_first_and_keeps_weights() {
+        let n = net();
+        let p = Partitioning::coordinate_bisection(&n.coords, 2);
+        let sub = p.subgraph(&n.adjacency, 1, 1);
+        assert_eq!(&sub.global_ids[..sub.owned_count], &p.part_nodes(1)[..]);
+        // Induced weights match the global adjacency.
+        for (li, &gi) in sub.global_ids.iter().enumerate() {
+            for (lj, &gj) in sub.global_ids.iter().enumerate() {
+                assert_eq!(sub.adjacency.weight(li, lj), n.adjacency.weight(gi, gj));
+            }
+        }
+    }
+
+    #[test]
+    fn replication_factor_at_least_one() {
+        let n = net();
+        let p = Partitioning::coordinate_bisection(&n.coords, 4);
+        let r0 = p.replication_factor(&n.adjacency, 0);
+        let r2 = p.replication_factor(&n.adjacency, 2);
+        assert!((r0 - 1.0).abs() < 1e-9, "no halo ⇒ no replication");
+        assert!(r2 > 1.0, "halo implies replication: {r2}");
+    }
+
+    #[test]
+    fn explicit_assignment_validates() {
+        let p = Partitioning::from_assignment(vec![0, 1, 1, 0], 2);
+        assert_eq!(p.part_nodes(0), vec![0, 3]);
+        assert_eq!(p.part_nodes(1), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "part >= k")]
+    fn out_of_range_assignment_panics() {
+        Partitioning::from_assignment(vec![0, 2], 2);
+    }
+}
+
+/// Recursive coordinate bisection helper: assign `ids` to `k` parts
+/// starting at part id `base`, splitting along the widest axis.
+fn rcb(
+    coords: &[(f32, f32)],
+    ids: &mut [usize],
+    k: usize,
+    base: usize,
+    assignment: &mut [usize],
+) {
+    if k == 1 {
+        for &i in ids.iter() {
+            assignment[i] = base;
+        }
+        return;
+    }
+    // Widest axis of this subset.
+    let (mut min_x, mut max_x, mut min_y, mut max_y) =
+        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    for &i in ids.iter() {
+        let (x, y) = coords[i];
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let by_x = (max_x - min_x) >= (max_y - min_y);
+    ids.sort_unstable_by(|&a, &b| {
+        let ka = if by_x { coords[a].0 } else { coords[a].1 };
+        let kb = if by_x { coords[b].0 } else { coords[b].1 };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    // Split proportionally so odd part counts stay balanced.
+    let cut = ids.len() * k_left / k;
+    let (left, right) = ids.split_at_mut(cut);
+    rcb(coords, left, k_left, base, assignment);
+    rcb(coords, right, k_right, base + k_left, assignment);
+}

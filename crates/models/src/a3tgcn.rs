@@ -1,0 +1,281 @@
+//! A3T-GCN (Zhu et al. 2020): TGCN cell + temporal attention (§5.5, Table 6).
+//!
+//! The TGCN cell is a GRU whose gates use a symmetric-normalized graph
+//! convolution `Â X W`. A3T-GCN collects the hidden state at every input
+//! step and pools them with a learned soft attention over time; the pooled
+//! context is projected to the forecast horizon.
+
+use crate::common::{check_input, ModelConfig, Seq2Seq};
+use crate::graph_ops::{spmm_var, Support};
+use st_autograd::{ops, Module, Param, Tape, Var};
+use st_tensor::{random, Tensor};
+
+/// Graph-convolutional GRU cell used by TGCN/A3T-GCN.
+pub struct TgcnCell {
+    a_hat: Support,
+    w_gates: Param, // [in+hidden, 2*hidden] fused r/u gates
+    b_gates: Param,
+    w_cand: Param, // [in+hidden, hidden]
+    b_cand: Param,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl TgcnCell {
+    /// Build over the sym-normalized adjacency support.
+    pub fn new(
+        name: &str,
+        a_hat: Support,
+        input_dim: usize,
+        hidden: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Self {
+        let io = input_dim + hidden;
+        TgcnCell {
+            a_hat,
+            w_gates: Param::new(format!("{name}.wg"), random::xavier_uniform(io, 2 * hidden, rng)),
+            b_gates: Param::new(format!("{name}.bg"), Tensor::full([2 * hidden], 1.0)),
+            w_cand: Param::new(format!("{name}.wc"), random::xavier_uniform(io, hidden, rng)),
+            b_cand: Param::new(format!("{name}.bc"), Tensor::zeros([hidden])),
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// Zero hidden state.
+    pub fn zero_state(&self, b: usize, n: usize) -> Tensor {
+        Tensor::zeros([b, n, self.hidden])
+    }
+
+    /// One recurrent step.
+    pub fn step(&self, tape: &Tape, x: &Var, h: &Var) -> Var {
+        debug_assert_eq!(x.value().dim(2), self.input_dim);
+        let xh = ops::concat(&[x, h], 2);
+        // Graph conv: Â [x, h] then fused gate projection.
+        let gxh = spmm_var(tape, &self.a_hat, &xh);
+        let wg = tape.param(&self.w_gates);
+        let bg = tape.param(&self.b_gates);
+        let gates = ops::sigmoid(&ops::add(&ops::bmm(&gxh, &wg), &bg)); // [B,N,2H]
+        let r = ops::narrow(&gates, 2, 0, self.hidden);
+        let u = ops::narrow(&gates, 2, self.hidden, self.hidden);
+        let rh = ops::mul(&r, h);
+        let xrh = ops::concat(&[x, &rh], 2);
+        let gxrh = spmm_var(tape, &self.a_hat, &xrh);
+        let wc = tape.param(&self.w_cand);
+        let bc = tape.param(&self.b_cand);
+        let c = ops::tanh(&ops::add(&ops::bmm(&gxrh, &wc), &bc));
+        let uh = ops::mul(&u, h);
+        let one_minus_u = ops::add_scalar(&ops::neg(&u), 1.0);
+        ops::add(&uh, &ops::mul(&one_minus_u, &c))
+    }
+
+    /// FLOPs of one step.
+    pub fn flops(&self, batch: usize, n: usize) -> f64 {
+        let nnz = self.a_hat.mat.nnz() as f64;
+        let io = (self.input_dim + self.hidden) as f64;
+        let spmm = 2.0 * 2.0 * nnz * io * batch as f64;
+        let gemm = 2.0 * (batch * n) as f64 * io * (3 * self.hidden) as f64;
+        spmm + gemm
+    }
+}
+
+impl Module for TgcnCell {
+    fn params(&self) -> Vec<Param> {
+        vec![
+            self.w_gates.clone(),
+            self.b_gates.clone(),
+            self.w_cand.clone(),
+            self.b_cand.clone(),
+        ]
+    }
+}
+
+/// A3T-GCN: TGCN + soft temporal attention + horizon head.
+pub struct A3tGcn {
+    cfg: ModelConfig,
+    cell: TgcnCell,
+    att_w1: Param, // [hidden, att]
+    att_b1: Param,
+    att_w2: Param, // [att, 1]
+    head_w: Param, // [hidden, horizon * output_dim]
+    head_b: Param,
+}
+
+impl A3tGcn {
+    /// Attention bottleneck width.
+    const ATT: usize = 16;
+
+    /// Build over the sym-normalized adjacency.
+    pub fn new(cfg: ModelConfig, a_hat: Support, seed: u64) -> Self {
+        let mut rng = random::rng_from_seed(seed);
+        let cell = TgcnCell::new("a3t.cell", a_hat, cfg.input_dim, cfg.hidden, &mut rng);
+        A3tGcn {
+            att_w1: Param::new("a3t.att.w1", random::xavier_uniform(cfg.hidden, Self::ATT, &mut rng)),
+            att_b1: Param::new("a3t.att.b1", Tensor::zeros([Self::ATT])),
+            att_w2: Param::new("a3t.att.w2", random::xavier_uniform(Self::ATT, 1, &mut rng)),
+            head_w: Param::new(
+                "a3t.head.w",
+                random::xavier_uniform(cfg.hidden, cfg.horizon * cfg.output_dim, &mut rng),
+            ),
+            head_b: Param::new("a3t.head.b", Tensor::zeros([cfg.horizon * cfg.output_dim])),
+            cell,
+            cfg,
+        }
+    }
+}
+
+impl Module for A3tGcn {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.cell.params();
+        p.extend([
+            self.att_w1.clone(),
+            self.att_b1.clone(),
+            self.att_w2.clone(),
+            self.head_w.clone(),
+            self.head_b.clone(),
+        ]);
+        p
+    }
+}
+
+impl Seq2Seq for A3tGcn {
+    fn forward(&self, tape: &Tape, x: &Tensor) -> Var {
+        check_input(x, &self.cfg, "A3T-GCN");
+        let (b, t, n) = (x.dim(0), x.dim(1), x.dim(2));
+        let mut h = tape.constant(self.cell.zero_state(b, n));
+        let mut states: Vec<Var> = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = tape.constant(x.select(1, step).expect("in range").contiguous());
+            h = self.cell.step(tape, &xt, &h);
+            states.push(h.clone());
+        }
+        // Attention over time: score_t from each hidden state.
+        let w1 = tape.param(&self.att_w1);
+        let b1 = tape.param(&self.att_b1);
+        let w2 = tape.param(&self.att_w2);
+        let scores: Vec<Var> = states
+            .iter()
+            .map(|s| {
+                // [B,N,H] -> [B,N,att] -> tanh -> [B,N,1] -> mean over nodes
+                let e = ops::tanh(&ops::add(&ops::bmm(s, &w1), &b1));
+                let sc = ops::bmm(&e, &w2); // [B, N, 1]
+                let sc = ops::mean_axis(&sc, 1); // [B, 1]
+                ops::reshape(&sc, vec![sc.value().dim(0)])
+            })
+            .collect();
+        let refs: Vec<&Var> = scores.iter().collect();
+        let score_mat = ops::stack0(&refs); // [T, B]
+        let alpha = ops::softmax_last(&ops::permute(&score_mat, &[1, 0])); // [B, T]
+
+        // Context = Σ_t α_t h_t.
+        let mut context: Option<Var> = None;
+        for (step, s) in states.iter().enumerate() {
+            let a_t = ops::narrow(&alpha, 1, step, 1); // [B, 1]
+            let a_t = ops::reshape(&a_t, vec![b, 1, 1]);
+            let term = ops::mul(s, &a_t);
+            context = Some(match context {
+                None => term,
+                Some(acc) => ops::add(&acc, &term),
+            });
+        }
+        let context = context.expect("at least one step");
+
+        // Head: [B,N,H] @ [H, T*out] -> [B,N,T*out] -> [B,T,N,out].
+        let hw = tape.param(&self.head_w);
+        let hb = tape.param(&self.head_b);
+        let out = ops::add(&ops::bmm(&context, &hw), &hb);
+        let out = ops::reshape(&out, vec![b, n, t, self.cfg.output_dim]);
+        ops::permute(&out, &[0, 2, 1, 3])
+    }
+
+    fn name(&self) -> &'static str {
+        "A3T-GCN"
+    }
+
+    fn flops_per_forward(&self, batch: usize) -> f64 {
+        let n = self.cfg.num_nodes;
+        let t = self.cfg.horizon as f64;
+        let att = 2.0 * (batch * n * self.cfg.hidden * Self::ATT) as f64;
+        let head = 2.0 * (batch * n * self.cfg.hidden * self.cfg.horizon) as f64;
+        t * (self.cell.flops(batch, n) + att) + head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::{sym_norm_adjacency, generators::random_geometric};
+
+    fn model(nodes: usize, horizon: usize) -> A3tGcn {
+        let net = random_geometric(nodes, 30.0, 4);
+        let a_hat = Support::new(sym_norm_adjacency(&net.adjacency));
+        let cfg = ModelConfig {
+            input_dim: 1,
+            output_dim: 1,
+            hidden: 10,
+            num_nodes: nodes,
+            horizon,
+            diffusion_steps: 1,
+            layers: 1,
+        };
+        A3tGcn::new(cfg, a_hat, 11)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let m = model(6, 4);
+        let tape = Tape::new();
+        let y = m.forward(&tape, &Tensor::ones([2, 4, 6, 1]));
+        assert_eq!(y.value().dims(), &[2, 4, 6, 1]);
+    }
+
+    #[test]
+    fn attention_weights_influence_output() {
+        // Gradients must reach the attention parameters.
+        let m = model(5, 3);
+        let tape = Tape::new();
+        let x = st_tensor::random::uniform(
+            [2, 3, 5, 1],
+            -1.0,
+            1.0,
+            &mut st_tensor::random::rng_from_seed(6),
+        );
+        let y = m.forward(&tape, &x);
+        let l = ops::mean_all(&ops::square(&y));
+        let grads = tape.backward(&l);
+        tape.accumulate_param_grads(&grads);
+        assert!(m.att_w1.grad().is_some(), "attention W1 gradient missing");
+        assert!(m.att_w2.grad().is_some(), "attention W2 gradient missing");
+        assert!(m.head_w.grad().is_some(), "head gradient missing");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        use st_autograd::loss;
+        use st_autograd::optim::{Adam, Optimizer};
+        let m = model(4, 3);
+        let x = st_tensor::random::uniform(
+            [2, 3, 4, 1],
+            -1.0,
+            1.0,
+            &mut st_tensor::random::rng_from_seed(8),
+        );
+        let target = Tensor::full([2, 3, 4, 1], -0.25);
+        let mut opt = Adam::new(m.params(), 0.03);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            opt.zero_grad();
+            let tape = Tape::new();
+            let pred = m.forward(&tape, &x);
+            let tgt = tape.constant(target.clone());
+            let l = loss::mse(&pred, &tgt);
+            last = l.value().item();
+            first.get_or_insert(last);
+            let grads = tape.backward(&l);
+            tape.accumulate_param_grads(&grads);
+            opt.step();
+        }
+        assert!(last < first.unwrap() * 0.5, "{:?} -> {last}", first);
+    }
+}

@@ -1,0 +1,14 @@
+//! DCRNN (Li et al., ICLR 2018) and its building blocks.
+//!
+//! - [`dconv`]: the K-step dual-direction diffusion convolution layer.
+//! - [`cell`]: the DCGRU cell (diffusion convolutions inside GRU gates).
+//! - [`seq2seq`]: the full encoder–decoder DCRNN — the heavyweight baseline
+//!   of the paper's Table 2 / Fig 2.
+
+pub mod cell;
+pub mod dconv;
+pub mod seq2seq;
+
+pub use cell::DcGruCell;
+pub use dconv::DiffusionConv;
+pub use seq2seq::Dcrnn;

@@ -1,0 +1,32 @@
+//! # st-models
+//!
+//! The spatiotemporal model zoo used by the paper's evaluation:
+//!
+//! - [`dcrnn`] — the original DCRNN (Li et al. 2018): dual random-walk
+//!   diffusion convolution inside GRU gates, encoder–decoder seq2seq.
+//! - [`pgt_dcrnn`] — PGT's lightweight DCRNN variant: a single diffusion
+//!   convolution recurrent layer applied stepwise with a carried hidden
+//!   state (§3 of the paper).
+//! - [`a3tgcn`] — A3T-GCN: TGCN cell (sym-normalized graph convolution +
+//!   GRU) with temporal attention pooling (§5.5, Table 6).
+//! - [`stllm`] — an ST-LLM-style substitute: token/spatial/temporal
+//!   embeddings feeding a small transformer encoder (§5.5, Fig 10).
+//!
+//! All models implement [`common::Seq2Seq`]: map a `[B, T, N, F]` history
+//! window to a `[B, T, N, F_out]` forecast, which is exactly the
+//! sequence-to-sequence contract index-batching exploits.
+
+pub mod a3tgcn;
+pub mod common;
+pub mod dcrnn;
+pub mod graph_ops;
+pub mod metrics;
+pub mod pgt_dcrnn;
+pub mod stllm;
+
+pub use a3tgcn::A3tGcn;
+pub use common::{ModelConfig, Seq2Seq};
+pub use dcrnn::Dcrnn;
+pub use graph_ops::Support;
+pub use pgt_dcrnn::PgtDcrnn;
+pub use stllm::StLlm;

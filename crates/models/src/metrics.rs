@@ -1,0 +1,274 @@
+//! Forecast evaluation metrics.
+//!
+//! The DCRNN line of work reports **masked** MAE / RMSE / MAPE — traffic
+//! sensors emit 0.0 when offline, and those readings must not count as
+//! ground truth — broken down **per forecast step** (15/30/60-minute
+//! horizons in the paper's sources). This module provides those metrics
+//! over `[B, T, N, ·]` prediction/target pairs, plus the standardized→
+//! original-units rescaling used everywhere in the repo.
+
+use st_tensor::Tensor;
+
+/// Masking + unit configuration for metric computation.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricConfig {
+    /// Readings equal to this value (±`eps`) are excluded (sensor offline).
+    pub null_value: Option<f32>,
+    /// Comparison tolerance for null matching.
+    pub eps: f32,
+    /// Multiply errors by this factor (σ when inputs are standardized).
+    pub scale: f32,
+    /// Add this offset before MAPE's relative division (μ when
+    /// standardized; MAE/RMSE are shift-invariant so only MAPE needs it).
+    pub offset: f32,
+}
+
+impl Default for MetricConfig {
+    fn default() -> Self {
+        MetricConfig {
+            null_value: None,
+            eps: 1e-4,
+            scale: 1.0,
+            offset: 0.0,
+        }
+    }
+}
+
+impl MetricConfig {
+    /// Metrics in original units for data standardized with `(mean, std)`.
+    pub fn standardized(mean: f32, std: f32) -> Self {
+        MetricConfig {
+            null_value: None,
+            eps: 1e-4,
+            scale: std,
+            offset: mean,
+        }
+    }
+
+    /// Add null masking (e.g. `0.0` for offline traffic sensors, compared
+    /// in original units).
+    pub fn with_null(mut self, null: f32) -> Self {
+        self.null_value = Some(null);
+        self
+    }
+}
+
+/// MAE / RMSE / MAPE over one (sub)tensor pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute error (original units).
+    pub mae: f32,
+    /// Root mean squared error (original units).
+    pub rmse: f32,
+    /// Mean absolute percentage error, as a fraction (0.05 = 5%).
+    pub mape: f32,
+    /// Readings that survived the null mask.
+    pub counted: usize,
+}
+
+/// Compute masked metrics over `pred` vs `target` (same shape).
+pub fn evaluate(pred: &Tensor, target: &Tensor, cfg: &MetricConfig) -> Metrics {
+    assert_eq!(pred.dims(), target.dims(), "pred/target shape mismatch");
+    let p = pred.to_vec();
+    let t = target.to_vec();
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut pct_sum = 0.0f64;
+    let mut n = 0usize;
+    for (&pi, &ti) in p.iter().zip(t.iter()) {
+        let t_orig = ti * cfg.scale + cfg.offset;
+        if let Some(null) = cfg.null_value {
+            if (t_orig - null).abs() <= cfg.eps {
+                continue;
+            }
+        }
+        let p_orig = pi * cfg.scale + cfg.offset;
+        let err = (p_orig - t_orig) as f64;
+        abs_sum += err.abs();
+        sq_sum += err * err;
+        if t_orig.abs() > cfg.eps {
+            pct_sum += (err / t_orig as f64).abs();
+        }
+        n += 1;
+    }
+    let denom = n.max(1) as f64;
+    Metrics {
+        mae: (abs_sum / denom) as f32,
+        rmse: (sq_sum / denom).sqrt() as f32,
+        mape: (pct_sum / denom) as f32,
+        counted: n,
+    }
+}
+
+/// Metrics for one forecast step.
+#[derive(Debug, Clone, Copy)]
+pub struct HorizonMetrics {
+    /// Forecast step (0-based; step `k` = `(k+1)·Δt` ahead).
+    pub step: usize,
+    /// Metrics at that step.
+    pub metrics: Metrics,
+}
+
+/// Per-forecast-step breakdown over `[B, T, N, ·]` tensors — the
+/// "15/30/60-minute" rows of DCRNN-style evaluations.
+pub fn evaluate_per_horizon(
+    pred: &Tensor,
+    target: &Tensor,
+    cfg: &MetricConfig,
+) -> Vec<HorizonMetrics> {
+    assert_eq!(pred.dims(), target.dims(), "pred/target shape mismatch");
+    assert_eq!(pred.rank(), 4, "expected [B, T, N, F]");
+    let horizon = pred.dim(1);
+    (0..horizon)
+        .map(|step| {
+            let p = pred.select(1, step).expect("step in range").contiguous();
+            let t = target.select(1, step).expect("step in range").contiguous();
+            HorizonMetrics {
+                step,
+                metrics: evaluate(&p, &t, cfg),
+            }
+        })
+        .collect()
+}
+
+/// Aggregate metrics over the full horizon plus the per-step breakdown.
+#[derive(Debug, Clone)]
+pub struct ForecastReport {
+    /// Metrics over every step pooled together.
+    pub overall: Metrics,
+    /// One entry per forecast step.
+    pub per_horizon: Vec<HorizonMetrics>,
+}
+
+/// Full report over `[B, T, N, ·]` tensors.
+pub fn report(pred: &Tensor, target: &Tensor, cfg: &MetricConfig) -> ForecastReport {
+    ForecastReport {
+        overall: evaluate(pred, target, cfg),
+        per_horizon: evaluate_per_horizon(pred, target, cfg),
+    }
+}
+
+impl std::fmt::Display for ForecastReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "overall: MAE {:.4}  RMSE {:.4}  MAPE {:.2}%  (n={})",
+            self.overall.mae,
+            self.overall.rmse,
+            self.overall.mape * 100.0,
+            self.overall.counted
+        )?;
+        for h in &self.per_horizon {
+            writeln!(
+                f,
+                "  step {:>2}: MAE {:.4}  RMSE {:.4}  MAPE {:.2}%",
+                h.step + 1,
+                h.metrics.mae,
+                h.metrics.rmse,
+                h.metrics.mape * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmasked_hand_example() {
+        let pred = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let target = Tensor::from_slice(&[2.0, 2.0, 1.0, 8.0]);
+        let m = evaluate(&pred, &target, &MetricConfig::default());
+        // |e| = 1, 0, 2, 4 → MAE 7/4; e² = 1, 0, 4, 16 → RMSE sqrt(21/4).
+        assert!((m.mae - 1.75).abs() < 1e-6);
+        assert!((m.rmse - (21.0f32 / 4.0).sqrt()).abs() < 1e-6);
+        // |e/t| = 1/2, 0, 2, 1/2 → MAPE 3/4.
+        assert!((m.mape - 0.75).abs() < 1e-6);
+        assert_eq!(m.counted, 4);
+    }
+
+    #[test]
+    fn null_mask_excludes_offline_sensors() {
+        let pred = Tensor::from_slice(&[1.0, 9.0, 3.0]);
+        let target = Tensor::from_slice(&[2.0, 0.0, 1.0]);
+        let cfg = MetricConfig::default().with_null(0.0);
+        let m = evaluate(&pred, &target, &cfg);
+        assert_eq!(m.counted, 2, "the 0.0 reading must be masked");
+        assert!((m.mae - 1.5).abs() < 1e-6); // (1 + 2)/2
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        // Jensen: RMSE ≥ MAE always.
+        let pred = Tensor::from_slice(&[0.3, -1.2, 5.5, 2.0, 0.0]);
+        let target = Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let m = evaluate(&pred, &target, &MetricConfig::default());
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn standardized_rescaling_matches_manual() {
+        // z-scores with μ = 60, σ = 10.
+        let pred = Tensor::from_slice(&[0.0, 1.0]);
+        let target = Tensor::from_slice(&[1.0, 1.0]);
+        let cfg = MetricConfig::standardized(60.0, 10.0);
+        let m = evaluate(&pred, &target, &cfg);
+        assert!((m.mae - 5.0).abs() < 1e-5); // (10 + 0)/2 in original units
+        // MAPE uses original units: errors 10, 0 against target 70.
+        assert!((m.mape - (10.0 / 70.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_horizon_separates_steps() {
+        // [B=1, T=2, N=2, F=1]: step 0 perfect, step 1 off by 2.
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 2, 2, 1]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 2.0, 5.0, 6.0], [1, 2, 2, 1]).unwrap();
+        let hs = evaluate_per_horizon(&pred, &target, &MetricConfig::default());
+        assert_eq!(hs.len(), 2);
+        assert!((hs[0].metrics.mae - 0.0).abs() < 1e-6);
+        assert!((hs[1].metrics.mae - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_grows_with_horizon_in_report() {
+        // Later steps usually degrade; the report must expose that.
+        let pred = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], [1, 4, 1, 1]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 1.5, 2.5, 4.0], [1, 4, 1, 1]).unwrap();
+        let r = report(&pred, &target, &MetricConfig::default());
+        let maes: Vec<f32> = r.per_horizon.iter().map(|h| h.metrics.mae).collect();
+        assert!(maes.windows(2).all(|w| w[1] >= w[0]), "{maes:?}");
+        // Overall pools all steps.
+        assert!((r.overall.mae - (0.0 + 0.5 + 1.5 + 3.0) / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_null_targets_yield_zero_counted() {
+        let pred = Tensor::from_slice(&[1.0, 2.0]);
+        let target = Tensor::from_slice(&[0.0, 0.0]);
+        let cfg = MetricConfig::default().with_null(0.0);
+        let m = evaluate(&pred, &target, &cfg);
+        assert_eq!(m.counted, 0);
+        assert_eq!(m.mae, 0.0, "empty mask must not NaN");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        evaluate(&a, &b, &MetricConfig::default());
+    }
+
+    #[test]
+    fn display_renders_all_steps() {
+        let pred = Tensor::zeros([1, 3, 2, 1]);
+        let target = Tensor::ones([1, 3, 2, 1]);
+        let r = report(&pred, &target, &MetricConfig::default());
+        let s = format!("{r}");
+        assert!(s.contains("step  1"));
+        assert!(s.contains("step  3"));
+        assert!(s.contains("overall"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Paper-vs-measured experiment records feeding `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One compared quantity from one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. "Table 2" or "Fig 7".
+    pub experiment: String,
+    /// What is being compared, e.g. "PGT-DCRNN peak host memory (GB)".
+    pub quantity: String,
+    /// The paper's reported value, as printed.
+    pub paper: String,
+    /// Our measured/projected value.
+    pub ours: String,
+    /// Whether the qualitative claim (ordering / OOM verdict / trend)
+    /// reproduced.
+    pub shape_holds: bool,
+    /// Free-form note (unit caveats, substitutions, ...).
+    pub note: String,
+}
+
+/// A collection of records with markdown emission.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecordSet {
+    records: Vec<ExperimentRecord>,
+}
+
+impl RecordSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RecordSet::default()
+    }
+
+    /// Add a record.
+    pub fn push(
+        &mut self,
+        experiment: &str,
+        quantity: &str,
+        paper: impl std::fmt::Display,
+        ours: impl std::fmt::Display,
+        shape_holds: bool,
+        note: &str,
+    ) {
+        self.records.push(ExperimentRecord {
+            experiment: experiment.into(),
+            quantity: quantity.into(),
+            paper: paper.to_string(),
+            ours: ours.to_string(),
+            shape_holds,
+            note: note.into(),
+        });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Count of records whose qualitative shape reproduced.
+    pub fn holds(&self) -> usize {
+        self.records.iter().filter(|r| r.shape_holds).count()
+    }
+
+    /// Render the markdown block for `EXPERIMENTS.md`.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| Experiment | Quantity | Paper | Ours | Shape holds | Note |\n|---|---|---|---|---|---|\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                r.experiment,
+                r.quantity,
+                r.paper,
+                r.ours,
+                if r.shape_holds { "yes" } else { "NO" },
+                r.note
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_render() {
+        let mut rs = RecordSet::new();
+        rs.push("Table 2", "peak mem", "259.84 GB", "259.46 GiB", true, "virtual replay");
+        rs.push("Fig 2", "PeMS OOM", "crash", "crash", true, "");
+        assert_eq!(rs.records().len(), 2);
+        assert_eq!(rs.holds(), 2);
+        let md = rs.to_markdown();
+        assert!(md.contains("| Table 2 |"));
+        assert!(md.contains("| yes |"));
+    }
+
+    #[test]
+    fn failing_shape_is_visible() {
+        let mut rs = RecordSet::new();
+        rs.push("Fig 9", "speedup", "2.28x", "1.1x", false, "tbd");
+        assert!(rs.to_markdown().contains("| NO |"));
+        assert_eq!(rs.holds(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Activation functions used by the ST-GNN model zoo.
+
+use crate::ops::map;
+use crate::{Result, Tensor, TensorError};
+
+/// Logistic sigmoid, numerically stable in both tails.
+pub fn sigmoid(t: &Tensor) -> Tensor {
+    map(t, |x| {
+        if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        }
+    })
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(t: &Tensor) -> Tensor {
+    map(t, f32::tanh)
+}
+
+/// Rectified linear unit.
+pub fn relu(t: &Tensor) -> Tensor {
+    map(t, |x| x.max(0.0))
+}
+
+/// GELU (tanh approximation), used by the transformer blocks.
+pub fn gelu(t: &Tensor) -> Tensor {
+    map(t, |x| {
+        0.5 * x * (1.0 + (0.7978845608 * (x + 0.044715 * x * x * x)).tanh())
+    })
+}
+
+/// Softmax along the last dimension (max-subtracted for stability).
+pub fn softmax_last(t: &Tensor) -> Result<Tensor> {
+    if t.rank() == 0 {
+        return Err(TensorError::Invalid {
+            op: "softmax_last",
+            msg: "rank-0 tensor".into(),
+        });
+    }
+    let last = t.dim(t.rank() - 1);
+    let mut v = t.to_vec();
+    for row in v.chunks_mut(last) {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - mx).exp();
+            z += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= z;
+        }
+    }
+    Tensor::from_vec(v, t.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        let t = Tensor::from_slice(&[-100.0, 0.0, 100.0]);
+        let s = sigmoid(&t).to_vec();
+        assert!(s[0] >= 0.0 && s[0] < 1e-6);
+        assert!((s[1] - 0.5).abs() < 1e-6);
+        assert!(s[2] <= 1.0 && s[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_and_relu() {
+        let t = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&t).to_vec(), vec![0.0, 0.0, 2.0]);
+        let th = tanh(&t).to_vec();
+        assert!((th[0] + 0.7615942).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_is_monotone_near_zero() {
+        let t = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+        let g = gelu(&t).to_vec();
+        assert!(g[0] < g[1] && g[1] < g[2]);
+        assert!(g[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], [2, 3]).unwrap();
+        let s = softmax_last(&t).unwrap();
+        let v = s.to_vec();
+        let r0: f32 = v[..3].iter().sum();
+        let r1: f32 = v[3..].iter().sum();
+        assert!((r0 - 1.0).abs() < 1e-5);
+        assert!((r1 - 1.0).abs() < 1e-5, "stable under large inputs");
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+}

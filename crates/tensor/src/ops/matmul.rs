@@ -1,0 +1,221 @@
+//! Dense matrix multiplication kernels (2-D and batched 3-D).
+//!
+//! The 2-D kernel uses the cache-friendly i-k-j loop order and parallelizes
+//! over row blocks; per the perf-book guidance, small products stay on the
+//! sequential path to avoid thread overhead.
+
+use crate::par::parallel_fill_chunks;
+use crate::{Result, Tensor, TensorError};
+
+/// `C[m,n] = A[m,k] @ B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::Invalid {
+            op: "matmul",
+            msg: format!("requires rank-2 inputs, got {} and {}", a.rank(), b.rank()),
+        });
+    }
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let ac = a.contiguous();
+    let bc = b.contiguous();
+    let av = ac.as_slice().expect("contiguous");
+    let bv = bc.as_slice().expect("contiguous");
+    let mut out = vec![0.0f32; m * n];
+    matmul_kernel(av, bv, &mut out, m, k, n);
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Row-parallel i-k-j kernel writing into `out` (must be zeroed, length m*n).
+pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if n == 0 || m == 0 {
+        return;
+    }
+    parallel_fill_chunks(out, n, m * n * k, |i, row| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (l, &al) in arow.iter().enumerate() {
+            if al == 0.0 {
+                continue;
+            }
+            let brow = &b[l * n..(l + 1) * n];
+            for (c, &bv) in row.iter_mut().zip(brow) {
+                *c += al * bv;
+            }
+        }
+    });
+}
+
+/// Batched matmul: `C[b,m,n] = A[b,m,k] @ B[b,k,n]`.
+/// `B` may also be rank-2 `[k,n]`, shared across the batch.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 3 {
+        return Err(TensorError::Invalid {
+            op: "bmm",
+            msg: format!("lhs must be rank-3, got {}", a.rank()),
+        });
+    }
+    let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+    let shared_rhs = b.rank() == 2;
+    let (k2, n) = if shared_rhs {
+        (b.dim(0), b.dim(1))
+    } else if b.rank() == 3 && b.dim(0) == bs {
+        (b.dim(1), b.dim(2))
+    } else {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    };
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "bmm",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let ac = a.contiguous();
+    let bc = b.contiguous();
+    let av = ac.as_slice().expect("contiguous");
+    let bv = bc.as_slice().expect("contiguous");
+    let mut out = vec![0.0f32; bs * m * n];
+    // Parallelize across the batch dimension; each batch fills its own slab.
+    parallel_fill_chunks(&mut out, m * n, bs * m * n * k, |i, slab| {
+        let a_i = &av[i * m * k..(i + 1) * m * k];
+        let b_i = if shared_rhs {
+            bv
+        } else {
+            &bv[i * k * n..(i + 1) * k * n]
+        };
+        // Sequential inner kernel (outer loop already parallel).
+        for r in 0..m {
+            let arow = &a_i[r * k..(r + 1) * k];
+            let crow = &mut slab[r * n..(r + 1) * n];
+            for (l, &al) in arow.iter().enumerate() {
+                if al == 0.0 {
+                    continue;
+                }
+                let brow = &b_i[l * n..(l + 1) * n];
+                for (c, &bval) in crow.iter_mut().zip(brow) {
+                    *c += al * bval;
+                }
+            }
+        }
+    });
+    Tensor::from_vec(out, [bs, m, n])
+}
+
+/// `y[m] = A[m,k] @ x[k]` — matrix–vector product.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || x.rank() != 1 {
+        return Err(TensorError::Invalid {
+            op: "matvec",
+            msg: format!("need [m,k] @ [k], got {:?} @ {:?}", a.dims(), x.dims()),
+        });
+    }
+    let out = matmul(a, &x.reshape([x.dim(0), 1])?)?;
+    out.reshape([a.dim(0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matmul_exact() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = Tensor::arange(9).reshape([3, 3]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(matmul(&a, &i).unwrap().to_vec(), a.to_vec());
+        assert_eq!(matmul(&i, &a).unwrap().to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Tensor::ones([3, 4]);
+        let b = Tensor::ones([4, 5]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[3, 5]);
+        assert!(c.to_vec().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn mismatched_inner_dim_errors() {
+        let a = Tensor::ones([2, 3]);
+        let b = Tensor::ones([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_on_transposed_view() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let at = a.t().unwrap(); // [3,2]
+        let c = matmul(&at, &a).unwrap(); // [3,3]
+        // Verify one entry: row0 of at = (1,4); col0 of a = (1,4) => 1+16=17.
+        assert_eq!(c.at(&[0, 0]), 17.0);
+        assert_eq!(c.dims(), &[3, 3]);
+    }
+
+    #[test]
+    fn large_matmul_matches_naive() {
+        // Exercise the parallel path against a naive reference.
+        let m = 37;
+        let k = 53;
+        let n = 41;
+        let mut rng = crate::random::rng_from_seed(3);
+        let a = crate::random::uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = crate::random::uniform([k, n], -1.0, 1.0, &mut rng);
+        let c = matmul(&a, &b).unwrap();
+        let (av, bv) = (a.to_vec(), b.to_vec());
+        for i in (0..m).step_by(7) {
+            for j in (0..n).step_by(5) {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += av[i * k + l] * bv[l * n + j];
+                }
+                assert!((c.at(&[i, j]) - s).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_with_shared_rhs() {
+        let a = Tensor::ones([2, 3, 4]);
+        let b = Tensor::ones([4, 5]);
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 5]);
+        assert!(c.to_vec().iter().all(|&x| x == 4.0));
+    }
+
+    #[test]
+    fn bmm_per_batch_rhs() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], [2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], [2, 2, 2]).unwrap();
+        let c = bmm(&a, &b).unwrap();
+        assert_eq!(c.to_vec(), vec![1.0, 2.0, 3.0, 4.0, 10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        assert_eq!(matvec(&a, &x).unwrap().to_vec(), vec![-1.0, -1.0]);
+    }
+}

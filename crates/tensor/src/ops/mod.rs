@@ -1,0 +1,15 @@
+//! Tensor kernels: elementwise arithmetic, matmul, reductions, activations,
+//! and concatenation. All functions are pure (they return new tensors);
+//! in-place variants live on [`crate::Tensor`].
+
+pub mod activation;
+pub mod concat;
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+
+pub use activation::*;
+pub use concat::*;
+pub use elementwise::*;
+pub use matmul::*;
+pub use reduce::*;

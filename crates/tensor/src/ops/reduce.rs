@@ -1,0 +1,158 @@
+//! Reductions: sum / mean / max / min / std, full and per-axis.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Sum of all elements.
+pub fn sum_all(t: &Tensor) -> f32 {
+    t.to_vec().iter().sum()
+}
+
+/// Mean of all elements (0 for empty tensors).
+pub fn mean_all(t: &Tensor) -> f32 {
+    let n = t.numel();
+    if n == 0 {
+        0.0
+    } else {
+        sum_all(t) / n as f32
+    }
+}
+
+/// Maximum element.
+pub fn max_all(t: &Tensor) -> f32 {
+    t.to_vec().into_iter().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Minimum element.
+pub fn min_all(t: &Tensor) -> f32 {
+    t.to_vec().into_iter().fold(f32::INFINITY, f32::min)
+}
+
+/// Population standard deviation of all elements.
+pub fn std_all(t: &Tensor) -> f32 {
+    let v = t.to_vec();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mean = v.iter().sum::<f32>() / v.len() as f32;
+    (v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / v.len() as f32).sqrt()
+}
+
+/// Reduce along `axis` with a binary accumulator, producing a tensor whose
+/// `axis` has been removed.
+fn reduce_axis(t: &Tensor, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    if axis >= t.rank() {
+        return Err(TensorError::Invalid {
+            op: "reduce_axis",
+            msg: format!("axis {axis} out of range for rank {}", t.rank()),
+        });
+    }
+    let dims = t.dims().to_vec();
+    let axis_len = dims[axis];
+    let outer: usize = dims[..axis].iter().product();
+    let inner: usize = dims[axis + 1..].iter().product();
+    let src = t.contiguous();
+    let s = src.as_slice().expect("contiguous");
+    let mut out = vec![init; outer * inner];
+    for o in 0..outer {
+        for a in 0..axis_len {
+            let base = (o * axis_len + a) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                out[obase + i] = f(out[obase + i], s[base + i]);
+            }
+        }
+    }
+    let mut out_dims = dims;
+    out_dims.remove(axis);
+    Tensor::from_vec(out, out_dims)
+}
+
+/// Sum along `axis` (axis removed from the result shape).
+pub fn sum_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    reduce_axis(t, axis, 0.0, |a, b| a + b)
+}
+
+/// Mean along `axis`.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    let n = t.dim(axis) as f32;
+    let s = sum_axis(t, axis)?;
+    Ok(crate::ops::mul_scalar(&s, 1.0 / n))
+}
+
+/// Max along `axis`.
+pub fn max_axis(t: &Tensor, axis: usize) -> Result<Tensor> {
+    reduce_axis(t, axis, f32::NEG_INFINITY, f32::max)
+}
+
+/// Index of the maximum along the last axis, returned as usize rows.
+pub fn argmax_last(t: &Tensor) -> Result<Vec<usize>> {
+    if t.rank() == 0 {
+        return Err(TensorError::Invalid {
+            op: "argmax_last",
+            msg: "rank-0 tensor".into(),
+        });
+    }
+    let last = t.dim(t.rank() - 1);
+    let v = t.to_vec();
+    Ok(v.chunks(last)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_reductions() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum_all(&t), 10.0);
+        assert_eq!(mean_all(&t), 2.5);
+        assert_eq!(max_all(&t), 4.0);
+        assert_eq!(min_all(&t), 1.0);
+        let std = std_all(&t);
+        assert!((std - 1.118034).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_axis_0_and_1() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        assert_eq!(sum_axis(&t, 0).unwrap().to_vec(), vec![3.0, 5.0, 7.0]);
+        assert_eq!(sum_axis(&t, 1).unwrap().to_vec(), vec![3.0, 12.0]);
+    }
+
+    #[test]
+    fn mean_axis_middle() {
+        let t = Tensor::arange(24).reshape([2, 3, 4]).unwrap();
+        let m = mean_axis(&t, 1).unwrap();
+        assert_eq!(m.dims(), &[2, 4]);
+        // mean over entries (0,4,8)=4, (1,5,9)=5, ...
+        assert_eq!(m.to_vec()[..4], [4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn max_axis_works() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, -3.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(max_axis(&t, 0).unwrap().to_vec(), vec![1.0, 9.0]);
+        assert_eq!(max_axis(&t, 1).unwrap().to_vec(), vec![9.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2], [2, 2]).unwrap();
+        assert_eq!(argmax_last(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reductions_on_views() {
+        let t = Tensor::arange(6).reshape([2, 3]).unwrap();
+        let tt = t.t().unwrap();
+        assert_eq!(sum_axis(&tt, 0).unwrap().to_vec(), vec![3.0, 12.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! Rayon is the idiomatic choice for this pattern, but the sanctioned
+//! dependency set for this project is limited to crossbeam, so we provide a
+//! small `parallel_for`-style splitter with the same spirit: split an index
+//! range into per-thread chunks, run them on scoped threads, and join. Work
+//! under [`PAR_THRESHOLD`] runs inline to avoid thread overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many scalar operations, run sequentially.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Number of worker threads to use for data-parallel loops.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let n = CACHED.load(Ordering::Relaxed);
+    if n != 0 {
+        return n;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Run `f(chunk_index, start, end)` over `[0, len)` split into roughly equal
+/// chunks, in parallel when the estimated `work` is large enough.
+///
+/// `work` should approximate total scalar operations (e.g. `m * n * k` for a
+/// matmul), so small tensors never pay thread overhead.
+pub fn parallel_chunks<F>(len: usize, work: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || work < PAR_THRESHOLD || len < 2 {
+        f(0, 0, len);
+        return;
+    }
+    let chunks = threads.min(len);
+    let per = len.div_ceil(chunks);
+    crossbeam::scope(|scope| {
+        for c in 0..chunks {
+            let start = c * per;
+            let end = ((c + 1) * per).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move |_| f(c, start, end));
+        }
+    })
+    .expect("parallel_chunks worker panicked");
+}
+
+/// Parallel map over disjoint mutable chunks of `out`, where chunk `i` of
+/// size `chunk` is produced by `f(i, &mut out_chunk)`.
+pub fn parallel_fill_chunks<F>(out: &mut [f32], chunk: usize, work: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk > 0, "chunk must be positive");
+    assert_eq!(out.len() % chunk, 0, "out must divide into whole chunks");
+    let n = out.len() / chunk;
+    let threads = num_threads();
+    if threads <= 1 || work < PAR_THRESHOLD || n < 2 {
+        for (i, c) in out.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    crossbeam::scope(|scope| {
+        let per = n.div_ceil(threads.min(n));
+        for (t, slab) in out.chunks_mut(per * chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (j, c) in slab.chunks_mut(chunk).enumerate() {
+                    f(t * per + j, c);
+                }
+            });
+        }
+    })
+    .expect("parallel_fill_chunks worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_chunks_covers_range_once() {
+        let sum = AtomicU64::new(0);
+        // Large work to force the parallel path.
+        parallel_chunks(1000, PAR_THRESHOLD * 2, |_, s, e| {
+            for i in s..e {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        let hit = AtomicU64::new(0);
+        parallel_chunks(10, 10, |c, s, e| {
+            // Sequential path calls exactly once with the full range.
+            assert_eq!((c, s, e), (0, 0, 10));
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fill_chunks_produces_each_chunk() {
+        let mut out = vec![0.0f32; 12];
+        parallel_fill_chunks(&mut out, 3, PAR_THRESHOLD * 2, |i, c| {
+            for x in c.iter_mut() {
+                *x = i as f32;
+            }
+        });
+        assert_eq!(out, vec![0., 0., 0., 1., 1., 1., 2., 2., 2., 3., 3., 3.]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Seeded random tensor constructors and weight initializers.
+//!
+//! Everything is driven by an explicit [`rand::rngs::StdRng`] so distributed
+//! replicas can be initialized identically from a shared seed — the same
+//! trick distributed-index-batching uses for communication-free global
+//! shuffling.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let data = (0..shape.numel())
+        .map(|_| rng.gen_range(lo..hi))
+        .collect::<Vec<f32>>();
+    Tensor::from_vec(data, shape).expect("matching numel")
+}
+
+/// Standard-normal samples scaled by `std` and shifted by `mean`
+/// (Box–Muller; avoids needing rand_distr).
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, shape).expect("matching numel")
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform([fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`.
+///
+/// Every worker that calls this with the same `(seed, epoch)` derives the
+/// same global permutation — the basis of communication-free global shuffle.
+pub fn permutation(n: usize, seed: u64, epoch: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bounds_and_determinism() {
+        let mut r1 = rng_from_seed(7);
+        let mut r2 = rng_from_seed(7);
+        let a = uniform([100], -1.0, 1.0, &mut r1);
+        let b = uniform([100], -1.0, 1.0, &mut r2);
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert!(a.to_vec().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_from_seed(42);
+        let t = normal([10_000], 2.0, 0.5, &mut rng);
+        let v = t.to_vec();
+        let mean = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / v.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = rng_from_seed(1);
+        let w = xavier_uniform(64, 32, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(w.to_vec().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(w.dims(), &[64, 32]);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_and_seeded() {
+        let p1 = permutation(100, 9, 3);
+        let p2 = permutation(100, 9, 3);
+        let p3 = permutation(100, 9, 4);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3, "different epochs must reshuffle");
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests on tensor view/stride invariants — the machinery
+//! index-batching trusts for zero-copy snapshot reconstruction.
+
+use proptest::prelude::*;
+use st_tensor::{ops, Shape, Tensor};
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..6, 1usize..6, 1usize..6, any::<u32>()).prop_map(|(a, b, c, seed)| {
+        let n = a * b * c;
+        let mut state = seed as u64 | 1;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 2000) as f32 - 1000.0) / 100.0
+            })
+            .collect();
+        Tensor::from_vec(data, [a, b, c]).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// narrow + to_vec equals slicing the flattened buffer.
+    #[test]
+    fn narrow_is_a_true_view(t in arb_tensor(), start_frac in 0.0f64..1.0, len_frac in 0.0f64..1.0) {
+        let d0 = t.dim(0);
+        let start = ((d0 as f64 * start_frac) as usize).min(d0 - 1);
+        let len = 1 + ((d0 - start - 1) as f64 * len_frac) as usize;
+        let v = t.narrow(0, start, len).unwrap();
+        prop_assert!(v.shares_storage(&t));
+        let row = t.numel() / d0;
+        let expect = &t.to_vec()[start * row..(start + len) * row];
+        prop_assert_eq!(v.to_vec(), expect.to_vec());
+    }
+
+    /// Double transpose is the identity; transpose never copies.
+    #[test]
+    fn transpose_involution(t in arb_tensor()) {
+        let tt = t.transpose(0, 2).unwrap().transpose(0, 2).unwrap();
+        prop_assert!(tt.shares_storage(&t));
+        prop_assert_eq!(tt.to_vec(), t.to_vec());
+    }
+
+    /// reshape preserves element order for contiguous tensors.
+    #[test]
+    fn reshape_preserves_order(t in arb_tensor()) {
+        let flat = t.reshape([t.numel()]).unwrap();
+        prop_assert_eq!(flat.to_vec(), t.to_vec());
+        prop_assert!(flat.shares_storage(&t));
+    }
+
+    /// a + b == b + a and (a + b) - b == a (within float tolerance).
+    #[test]
+    fn add_commutes_and_inverts(t in arb_tensor()) {
+        let u = ops::mul_scalar(&t, 0.5);
+        let ab = ops::add(&t, &u).unwrap();
+        let ba = ops::add(&u, &t).unwrap();
+        prop_assert_eq!(ab.to_vec(), ba.to_vec());
+        let back = ops::sub(&ab, &u).unwrap();
+        prop_assert!(back.allclose(&t, 1e-5));
+    }
+
+    /// Broadcast result shape follows NumPy trailing-dimension rules.
+    #[test]
+    fn broadcast_shape_law(a in 1usize..5, b in 1usize..5) {
+        let x = Shape::new([a, 1, b]);
+        let y = Shape::new([b]);
+        let r = x.broadcast_with(&y).unwrap();
+        prop_assert_eq!(r.dims(), &[a, 1, b]);
+        // Symmetric.
+        let r2 = y.broadcast_with(&x).unwrap();
+        prop_assert_eq!(r2.dims(), &[a, 1, b]);
+    }
+
+    /// index_select0 gathers exactly the requested rows.
+    #[test]
+    fn index_select_rows(t in arb_tensor(), pick in any::<u8>()) {
+        let d0 = t.dim(0);
+        let i = pick as usize % d0;
+        let g = t.index_select0(&[i]).unwrap();
+        prop_assert_eq!(g.to_vec(), t.select(0, i).unwrap().to_vec());
+    }
+
+    /// Concat along dim 0 then narrow recovers the parts.
+    #[test]
+    fn concat_narrow_roundtrip(t in arb_tensor()) {
+        let u = ops::mul_scalar(&t, 2.0);
+        let cat = ops::concat(&[&t, &u], 0).unwrap();
+        let d0 = t.dim(0);
+        prop_assert_eq!(cat.narrow(0, 0, d0).unwrap().to_vec(), t.to_vec());
+        prop_assert_eq!(cat.narrow(0, d0, d0).unwrap().to_vec(), u.to_vec());
+    }
+
+    /// Copy-on-write: mutating a view never corrupts the base tensor.
+    #[test]
+    fn cow_isolation(t in arb_tensor()) {
+        let before = t.to_vec();
+        let mut view = t.narrow(0, 0, 1).unwrap();
+        view.fill_(1234.5);
+        prop_assert_eq!(t.to_vec(), before);
+    }
+}

@@ -1,0 +1,83 @@
+//! Memory planner: will your spatiotemporal dataset fit?
+//!
+//! ```text
+//! cargo run --release --example memory_planner -- <entries> <nodes> <features> <horizon>
+//! cargo run --release --example memory_planner          # all six benchmarks
+//! ```
+//!
+//! For a dataset shape, prints the eq.-(1) standard-preprocessing footprint,
+//! the eq.-(2) index-batching footprint, and fit verdicts against a 512 GB
+//! host and a 40 GB GPU — the planning question the paper answers for PeMS.
+
+use pgt_i::core::memory_model::{growth_stages, index_batching_bytes, standard_preprocess_bytes};
+use pgt_i::data::datasets::DatasetSpec;
+use pgt_i::report::table::{fmt_bytes, Table};
+
+const HOST: u64 = 512 << 30;
+const GPU: u64 = 40 << 30;
+
+fn verdict(bytes: u64, capacity: u64) -> String {
+    if bytes <= capacity {
+        format!("fits ({:.1}%)", 100.0 * bytes as f64 / capacity as f64)
+    } else {
+        format!("OOM ({:.1}x over)", bytes as f64 / capacity as f64)
+    }
+}
+
+fn plan(name: &str, entries: usize, nodes: usize, features: usize, horizon: usize) -> Vec<String> {
+    let eq1 = standard_preprocess_bytes(entries, horizon, nodes, features, 8);
+    let eq2 = index_batching_bytes(entries, horizon, nodes, features, 8);
+    // Standard preprocessing peaks at ~1.5x the final arrays (stacking).
+    let std_peak = eq1 + eq1 / 2;
+    vec![
+        name.to_string(),
+        fmt_bytes(eq1),
+        fmt_bytes(eq2),
+        format!("{:.1}%", 100.0 * (1.0 - eq2 as f64 / eq1 as f64)),
+        verdict(std_peak, HOST),
+        verdict(eq2, HOST),
+        verdict(eq2, GPU),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut table = Table::new(
+        "Memory plan (float64; host 512 GB, GPU 40 GB)",
+        &[
+            "Dataset",
+            "Standard (eq.1)",
+            "Index (eq.2)",
+            "Saved",
+            "Standard fits host?",
+            "Index fits host?",
+            "GPU-index fits device?",
+        ],
+    );
+    if args.len() == 4 {
+        let p: Vec<usize> = args.iter().map(|a| a.parse().expect("integer arg")).collect();
+        table.row(&plan("custom", p[0], p[1], p[2], p[3]));
+    } else {
+        for spec in DatasetSpec::all() {
+            table.row(&plan(
+                spec.name,
+                spec.entries,
+                spec.nodes,
+                spec.aug_features,
+                spec.horizon,
+            ));
+        }
+    }
+    println!("{}", table.to_text());
+
+    // Detail the growth stages for the headline dataset.
+    let pems = DatasetSpec::all().into_iter().last().expect("registry");
+    let g = growth_stages(&pems, 8);
+    println!(
+        "PeMS growth stages: raw {} -> +time {} -> SWA x {} -> x+y {}",
+        fmt_bytes(g.raw),
+        fmt_bytes(g.stage1),
+        fmt_bytes(g.stage2),
+        fmt_bytes(g.stage3)
+    );
+}

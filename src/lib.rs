@@ -1,0 +1,16 @@
+//! # pgt-i
+//!
+//! Umbrella crate for the PGT-I reproduction: re-exports the public API of
+//! every workspace crate so examples and integration tests can use a single
+//! dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper → crate mapping.
+
+pub use pgt_index as core;
+pub use st_autograd as autograd;
+pub use st_data as data;
+pub use st_device as device;
+pub use st_dist as dist;
+pub use st_graph as graph;
+pub use st_models as models;
+pub use st_report as report;
+pub use st_tensor as tensor;

@@ -1,0 +1,174 @@
+//! Property-based tests for the §7 extension subsystems: graph
+//! partitioning laws, checkpoint round-trips, the common-round collective
+//! guard, data-distribution policies, and prefetch exposure algebra.
+
+use pgt_i::autograd::{Checkpoint, Param, StateDict};
+use pgt_i::dist::datasvc::PartitionPolicy;
+use pgt_i::dist::shuffle::{common_rounds, contiguous_partition, range_overlap};
+use pgt_i::graph::partition::{halo_nodes, Partitioning};
+use pgt_i::graph::Adjacency;
+use pgt_i::tensor::Tensor;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random sparse adjacency over `n` nodes (ring + random chords so the
+/// graph stays connected).
+fn arb_adjacency() -> impl Strategy<Value = Adjacency> {
+    (4usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut w = vec![0.0f32; n * n];
+        for i in 0..n {
+            w[i * n + (i + 1) % n] = 1.0;
+            w[((i + 1) % n) * n + i] = 1.0;
+        }
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % n as u64) as usize;
+            let j = ((state >> 16) % n as u64) as usize;
+            if i != j {
+                w[i * n + j] = 1.0;
+            }
+        }
+        Adjacency::from_dense(n, w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every partitioner must produce a disjoint cover of all nodes.
+    #[test]
+    fn partitioners_cover_disjointly(adj in arb_adjacency(), k in 1usize..5) {
+        let n = adj.num_nodes();
+        let k = k.min(n);
+        for p in [
+            Partitioning::contiguous(n, k),
+            Partitioning::greedy_bfs(&adj, k),
+        ] {
+            let mut seen = HashSet::new();
+            for part in 0..k {
+                for node in p.part_nodes(part) {
+                    prop_assert!(seen.insert(node), "node {node} assigned twice");
+                }
+            }
+            prop_assert_eq!(seen.len(), n, "all nodes covered");
+        }
+    }
+
+    /// The cut fraction is a fraction, and a 1-way "partitioning" cuts
+    /// nothing.
+    #[test]
+    fn cut_fraction_bounds(adj in arb_adjacency(), k in 2usize..5) {
+        let n = adj.num_nodes();
+        let p = Partitioning::greedy_bfs(&adj, k.min(n));
+        let f = p.cut_fraction(&adj);
+        prop_assert!((0.0..=1.0).contains(&f), "cut fraction {f}");
+        let whole = Partitioning::contiguous(n, 1);
+        prop_assert_eq!(whole.cut_fraction(&adj), 0.0);
+    }
+
+    /// Halos are monotone in depth, disjoint from the owned set, and the
+    /// full-graph owned set has an empty halo.
+    #[test]
+    fn halo_laws(adj in arb_adjacency(), depth in 0usize..4) {
+        let n = adj.num_nodes();
+        let owned: Vec<usize> = (0..n / 2).collect();
+        let h_d = halo_nodes(&adj, &owned, depth);
+        let h_d1 = halo_nodes(&adj, &owned, depth + 1);
+        prop_assert!(h_d.len() <= h_d1.len(), "halo monotone in depth");
+        prop_assert!(h_d.iter().all(|x| !owned.contains(x)));
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert!(halo_nodes(&adj, &all, depth).is_empty());
+    }
+
+    /// `common_rounds` dominates every rank's own batch count (no rank can
+    /// run out of collectives) and is tight (some rank needs all rounds).
+    #[test]
+    fn common_rounds_dominates_and_is_tight(
+        n in 1usize..500, world in 1usize..9, batch in 1usize..17
+    ) {
+        let per_rank: Vec<usize> =
+            (0..world).map(|r| contiguous_partition(n, world, r).len()).collect();
+        let rounds = common_rounds(per_rank.clone(), batch);
+        for &samples in &per_rank {
+            prop_assert!(samples.div_ceil(batch) <= rounds);
+        }
+        prop_assert!(per_rank.iter().any(|&s| s.div_ceil(batch) == rounds));
+    }
+
+    /// Range overlap is symmetric, bounded by both lengths, and exact on
+    /// nested ranges.
+    #[test]
+    fn range_overlap_laws(a in 0usize..50, b in 0usize..50, c in 0usize..50, d in 0usize..50) {
+        let r1 = a.min(b)..a.max(b);
+        let r2 = c.min(d)..c.max(d);
+        let o = range_overlap(&r1, &r2);
+        prop_assert_eq!(o, range_overlap(&r2, &r1), "symmetric");
+        prop_assert!(o <= r1.len() && o <= r2.len());
+        let brute = r1.clone().filter(|x| r2.contains(x)).count();
+        prop_assert_eq!(o, brute, "matches brute force");
+    }
+
+    /// Every ownership policy assigns every row to a valid rank, and the
+    /// contiguous policy matches `contiguous_partition`.
+    #[test]
+    fn ownership_policies_are_total(rows in 1usize..200, world in 1usize..9) {
+        for policy in [PartitionPolicy::Contiguous, PartitionPolicy::Strided] {
+            for idx in 0..rows {
+                let o = policy.owner_of(idx, rows, world);
+                prop_assert!(o < world);
+            }
+        }
+        for rank in 0..world {
+            for idx in contiguous_partition(rows, world, rank) {
+                prop_assert_eq!(
+                    PartitionPolicy::Contiguous.owner_of(idx, rows, world),
+                    rank
+                );
+            }
+        }
+    }
+
+    /// State dicts round-trip bit-exactly through the binary format for
+    /// arbitrary shapes and names.
+    #[test]
+    fn checkpoint_roundtrip(
+        dims in proptest::collection::vec(1usize..5, 1..4),
+        seed in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let numel: usize = dims.iter().product();
+        let mut state = seed | 1;
+        let vals: Vec<f32> = (0..numel)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                f32::from_bits((state as u32 & 0x3f7f_ffff) | 0x3f00_0000) // finite, sane
+            })
+            .collect();
+        let t = Tensor::from_vec(vals.clone(), dims.clone()).unwrap();
+        let p = Param::new("w", t);
+        let opt = pgt_i::autograd::optim::Adam::new(vec![p.clone()], 0.01);
+        let ck = Checkpoint::capture(&[p], &opt, epoch);
+        let restored = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        prop_assert_eq!(restored.epoch, epoch);
+        let rt = restored.model.get("0.w").unwrap();
+        prop_assert_eq!(rt.to_vec(), vals);
+        prop_assert_eq!(rt.dims(), &dims[..]);
+    }
+
+    /// Arbitrary state dicts reject truncation at any point (never panic,
+    /// never accept).
+    #[test]
+    fn truncated_checkpoints_rejected(cut_frac in 0.1f64..0.98) {
+        let mut d = StateDict::new();
+        d.insert("a", Tensor::ones([3, 2]));
+        d.insert("b", Tensor::zeros([5]));
+        let bytes = d.to_bytes();
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).max(1).min(bytes.len() - 1);
+        prop_assert!(StateDict::from_bytes(&bytes[..cut]).is_err());
+    }
+}
