@@ -337,7 +337,10 @@ mod tests {
 
     fn params() -> Vec<Param> {
         vec![
-            Param::new("w", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap()),
+            Param::new(
+                "w",
+                Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap(),
+            ),
             Param::new("b", Tensor::from_slice(&[0.5, -0.5])),
         ]
     }

@@ -15,8 +15,8 @@
 pub mod checkpoint;
 pub mod loss;
 pub mod module;
-pub mod optim;
 pub mod ops;
+pub mod optim;
 pub mod schedule;
 pub mod tape;
 

@@ -36,10 +36,7 @@ fn binary(
     assert!(a.same_tape(b), "binary op across different tapes");
     let (sa, sb) = (a.value().shape().clone(), b.value().shape().clone());
     a.tape().custom_op(&[a, b], value, move |g| {
-        vec![
-            reduce_grad_to(&da(g), &sa),
-            reduce_grad_to(&db(g), &sb),
-        ]
+        vec![reduce_grad_to(&da(g), &sa), reduce_grad_to(&db(g), &sb)]
     })
 }
 
@@ -350,23 +347,35 @@ pub fn reshape(v: &Var, shape: impl Into<Shape>) -> Var {
 
 /// Permute dimensions; backward applies the inverse permutation.
 pub fn permute(v: &Var, perm: &[usize]) -> Var {
-    let val = v.value().permute(perm).expect("valid permutation").contiguous();
+    let val = v
+        .value()
+        .permute(perm)
+        .expect("valid permutation")
+        .contiguous();
     let mut inverse = vec![0usize; perm.len()];
     for (i, &p) in perm.iter().enumerate() {
         inverse[p] = i;
     }
     v.tape().custom_op(&[v], val, move |g| {
-        vec![g.permute(&inverse).expect("inverse permutation").contiguous()]
+        vec![g
+            .permute(&inverse)
+            .expect("inverse permutation")
+            .contiguous()]
     })
 }
 
 /// Stack vars along a new leading dimension.
 pub fn stack0(vars: &[&Var]) -> Var {
-    let unsqueezed: Vec<Var> = vars.iter().map(|v| reshape(v, {
-        let mut d = vec![1usize];
-        d.extend_from_slice(v.value().dims());
-        d
-    })).collect();
+    let unsqueezed: Vec<Var> = vars
+        .iter()
+        .map(|v| {
+            reshape(v, {
+                let mut d = vec![1usize];
+                d.extend_from_slice(v.value().dims());
+                d
+            })
+        })
+        .collect();
     let refs: Vec<&Var> = unsqueezed.iter().collect();
     concat(&refs, 0)
 }
@@ -418,11 +427,7 @@ mod tests {
     use crate::tape::Tape;
 
     /// Finite-difference gradient check for scalar-valued f(x).
-    fn grad_check(
-        x0: Tensor,
-        f: impl Fn(&Tape, &Var) -> Var,
-        tol: f32,
-    ) {
+    fn grad_check(x0: Tensor, f: impl Fn(&Tape, &Var) -> Var, tol: f32) {
         let tape = Tape::new();
         let x = tape.leaf(x0.clone());
         let y = f(&tape, &x);
@@ -484,9 +489,8 @@ mod tests {
         grad_check(
             Tensor::from_vec(vec![0.2, -0.4, 0.6, 0.8, -1.0, 0.1], [2, 3]).unwrap(),
             |tape, x| {
-                let w = tape.leaf(
-                    Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.7, 0.9, -0.1], [3, 2]).unwrap(),
-                );
+                let w = tape
+                    .leaf(Tensor::from_vec(vec![0.3, -0.2, 0.5, 0.7, 0.9, -0.1], [3, 2]).unwrap());
                 mean_all(&matmul(x, &w))
             },
             1e-2,
@@ -500,9 +504,9 @@ mod tests {
             |_, x| {
                 let s = softmax_last(x);
                 // Weighted sum so the gradient isn't trivially zero.
-                let w = s.tape().leaf(
-                    Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], [2, 2]).unwrap(),
-                );
+                let w = s
+                    .tape()
+                    .leaf(Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], [2, 2]).unwrap());
                 sum_all(&mul(&s, &w))
             },
             1e-2,
@@ -564,7 +568,8 @@ mod tests {
             |tape, x| {
                 let gamma = tape.leaf(Tensor::ones([3]));
                 let beta = tape.leaf(Tensor::zeros([3]));
-                let w = tape.leaf(Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5, 1.5, -0.5], [2, 3]).unwrap());
+                let w = tape
+                    .leaf(Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5, 1.5, -0.5], [2, 3]).unwrap());
                 sum_all(&mul(&layer_norm(x, &gamma, &beta, 1e-5), &w))
             },
             2e-2,
@@ -576,11 +581,8 @@ mod tests {
         grad_check(
             Tensor::from_vec((0..12).map(|i| 0.1 * i as f32).collect(), [2, 2, 3]).unwrap(),
             |tape, x| {
-                let w = tape.leaf(Tensor::from_vec(
-                    vec![0.2, -0.1, 0.4, 0.3, 0.6, -0.5],
-                    [3, 2],
-                )
-                .unwrap());
+                let w = tape
+                    .leaf(Tensor::from_vec(vec![0.2, -0.1, 0.4, 0.3, 0.6, -0.5], [3, 2]).unwrap());
                 mean_all(&bmm(x, &w))
             },
             1e-2,

@@ -46,9 +46,7 @@ impl Optimizer for Sgd {
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
             let Some(g) = p.grad() else { continue };
             let update = if self.momentum > 0.0 {
-                let mut vel = v
-                    .take()
-                    .unwrap_or_else(|| Tensor::zeros(g.shape().clone()));
+                let mut vel = v.take().unwrap_or_else(|| Tensor::zeros(g.shape().clone()));
                 vel.scale_(self.momentum);
                 vel.add_scaled_(&g, 1.0).expect("shapes stable");
                 *v = Some(vel.clone());

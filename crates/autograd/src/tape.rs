@@ -290,11 +290,9 @@ mod tests {
         let tape = Tape::new();
         let x = tape.leaf(Tensor::from_slice(&[5.0]));
         // Forward: x * 10, backward: grad * 10.
-        let y = tape.custom_op(
-            &[&x],
-            st_tensor::ops::mul_scalar(x.value(), 10.0),
-            |g| vec![st_tensor::ops::mul_scalar(g, 10.0)],
-        );
+        let y = tape.custom_op(&[&x], st_tensor::ops::mul_scalar(x.value(), 10.0), |g| {
+            vec![st_tensor::ops::mul_scalar(g, 10.0)]
+        });
         let s = ops::sum_all(&y);
         let g = tape.backward(&s);
         assert_eq!(g.get(&x).unwrap().to_vec(), vec![10.0]);

@@ -21,7 +21,11 @@ fn gradcheck(name: &str, x: Tensor, build: impl Fn(&Tape, &Var) -> Var) {
     let tape = Tape::new();
     let leaf = tape.leaf(x.clone());
     let out = build(&tape, &leaf);
-    assert_eq!(out.value().numel(), 1, "{name}: gradcheck needs a scalar output");
+    assert_eq!(
+        out.value().numel(),
+        1,
+        "{name}: gradcheck needs a scalar output"
+    );
     let grads = tape.backward(&out);
     let analytic = grads.get(&leaf).expect("leaf gradient").to_vec();
 
@@ -214,7 +218,10 @@ fn gradcheck_shape_ops() {
     });
     let w3 = input([3, 2], -1.0, 1.0, 43);
     gradcheck("permute", input([2, 3], -1.0, 1.0, 42), move |t, x| {
-        ops::sum_all(&ops::mul(&ops::permute(x, &[1, 0]), &t.constant(w3.clone())))
+        ops::sum_all(&ops::mul(
+            &ops::permute(x, &[1, 0]),
+            &t.constant(w3.clone()),
+        ))
     });
 }
 
@@ -240,10 +247,14 @@ fn gradcheck_concat_and_stack() {
 fn gradcheck_index_select() {
     // Repeated indices must *accumulate* gradient (the classic bug).
     let w = input([3, 2], -1.0, 1.0, 51);
-    gradcheck("index_select0", input([4, 2], -1.0, 1.0, 50), move |t, x| {
-        let sel = ops::index_select0(x, &[1, 1, 3]);
-        ops::sum_all(&ops::mul(&sel, &t.constant(w.clone())))
-    });
+    gradcheck(
+        "index_select0",
+        input([4, 2], -1.0, 1.0, 50),
+        move |t, x| {
+            let sel = ops::index_select0(x, &[1, 1, 3]);
+            ops::sum_all(&ops::mul(&sel, &t.constant(w.clone())))
+        },
+    );
 }
 
 #[test]

@@ -33,14 +33,8 @@ fn bench_shuffle_derivation(c: &mut Criterion) {
 
 fn bench_data_plane(c: &mut Criterion) {
     let rows = 4096usize;
-    let array = || {
-        DistributedArray::new(
-            Tensor::zeros([rows, 256]),
-            4,
-            ClusterTopology::polaris(),
-            4,
-        )
-    };
+    let array =
+        || DistributedArray::new(Tensor::zeros([rows, 256]), 4, ClusterTopology::polaris(), 4);
     let cm = st_device::CostModel::polaris();
     let batches: Vec<Vec<usize>> = (0..32)
         .map(|b| (0..16).map(|i| (b * 97 + i * 13) % rows).collect())

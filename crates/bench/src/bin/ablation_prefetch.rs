@@ -36,7 +36,13 @@ fn main() {
     // --- prefetch on/off on the measured baseline-DDP runner ---
     let mut table = Table::new(
         "Ablation §7a: baseline DDP with and without prefetching (measured, simulated seconds)",
-        &["variant", "comm s", "compute s", "total s", "data-plane bytes"],
+        &[
+            "variant",
+            "comm s",
+            "compute s",
+            "total s",
+            "data-plane bytes",
+        ],
     );
     let mut cfg = DistConfig::new(2, if st_bench::smoke() { 1 } else { 2 }, spec.horizon);
     cfg.batch_per_worker = 4;
@@ -44,7 +50,12 @@ fn main() {
         cfg.prefetch = prefetch;
         let r = run_baseline_ddp(&sig, &cfg, |_| Box::new(factory(1)) as Box<dyn Seq2Seq>);
         table.row(&[
-            if prefetch { "prefetched" } else { "synchronous" }.to_string(),
+            if prefetch {
+                "prefetched"
+            } else {
+                "synchronous"
+            }
+            .to_string(),
             format!("{:.4}", r.sim_comm_secs),
             format!("{:.4}", r.sim_compute_secs),
             format!("{:.4}", r.sim_total_secs),

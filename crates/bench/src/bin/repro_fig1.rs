@@ -61,9 +61,12 @@ fn main() {
         let ys = std_out.scaler.inverse(&std_out.y.select(0, i).unwrap());
         let xi = index.scaler().inverse(&x);
         let yi = index.scaler().inverse(&y);
-        for (a, b) in xi.to_vec().iter().chain(yi.to_vec().iter()).zip(
-            xs.to_vec().iter().chain(ys.to_vec().iter()),
-        ) {
+        for (a, b) in xi
+            .to_vec()
+            .iter()
+            .chain(yi.to_vec().iter())
+            .zip(xs.to_vec().iter().chain(ys.to_vec().iter()))
+        {
             max_err = max_err.max((a - b).abs());
         }
     }

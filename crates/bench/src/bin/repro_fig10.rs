@@ -24,7 +24,14 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 10 — ST-LLM distributed-index-batching scaling (measured, scaled PeMS-BAY)",
-        &["GPUs", "Sim total (s)", "Sim compute (s)", "Speedup", "Linear", "Best val MAE"],
+        &[
+            "GPUs",
+            "Sim total (s)",
+            "Sim compute (s)",
+            "Speedup",
+            "Linear",
+            "Best val MAE",
+        ],
     );
     let mut totals = Vec::new();
     for &w in &worlds {
@@ -66,11 +73,18 @@ fn main() {
     );
     let linear = Series::new(
         "Linear",
-        totals.iter().map(|&(w, _, _, _)| (w as f64, base / w as f64)).collect(),
+        totals
+            .iter()
+            .map(|&(w, _, _, _)| (w as f64, base / w as f64))
+            .collect(),
     );
     println!(
         "{}",
-        render_columns("Fig 10 — simulated runtime vs GPUs", "GPUs", &[series, linear])
+        render_columns(
+            "Fig 10 — simulated runtime vs GPUs",
+            "GPUs",
+            &[series, linear]
+        )
     );
 
     let max_w = totals.last().unwrap();
@@ -98,7 +112,13 @@ fn main() {
     let proj_worlds = [1usize, 4, 8, 16, 32];
     let mut proj = Table::new(
         "Fig 10 — paper-scale projection (PeMS-BAY, 30 epochs, batch 64/GPU)",
-        &["GPUs", "Projected total (min)", "Speedup", "Linear", "Efficiency"],
+        &[
+            "GPUs",
+            "Projected total (min)",
+            "Speedup",
+            "Linear",
+            "Efficiency",
+        ],
     );
     let mut proj_minutes = Vec::new();
     for &w in &proj_worlds {
@@ -129,7 +149,10 @@ fn main() {
         "Fig 10",
         "ST-LLM near-linear scaling (paper-scale projection)",
         "3.92x @4 GPUs, 30.01x @32 (≈94% efficiency)",
-        format!("{s4:.2}x @4 GPUs, {s32:.2}x @32 ({:.0}% efficiency)", s32 / 32.0 * 100.0),
+        format!(
+            "{s4:.2}x @4 GPUs, {s32:.2}x @32 ({:.0}% efficiency)",
+            s32 / 32.0 * 100.0
+        ),
         s32 / 32.0 > 0.8,
         "single-GPU anchor calibrated once; multi-GPU points are predictions",
     );
@@ -137,7 +160,11 @@ fn main() {
         "Fig 10",
         "measured mini-run scaling (2-core host)",
         "near-linear on Polaris",
-        format!("{speedup:.2}x @{} workers ({:.0}% efficiency)", max_w.0, efficiency * 100.0),
+        format!(
+            "{speedup:.2}x @{} workers ({:.0}% efficiency)",
+            max_w.0,
+            efficiency * 100.0
+        ),
         max_w.3.is_finite(),
         "at 0.012x scale the transformer's all-reduce dwarfs compute; \
          expected artifact of the scaled run, see projection",

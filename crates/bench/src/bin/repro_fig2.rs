@@ -30,11 +30,7 @@ fn run(kind: DatasetKind, variant: LoaderVariant) -> (Series, Option<f64>, f64) 
         .into_iter()
         .map(|(p, g)| (p, g))
         .collect::<Vec<_>>();
-    (
-        Series::new(label, pts),
-        tl.oom_at(),
-        gib(report.peak_bytes),
-    )
+    (Series::new(label, pts), tl.oom_at(), gib(report.peak_bytes))
 }
 
 fn main() {
@@ -52,8 +48,16 @@ fn main() {
             records.push(
                 "Fig 2",
                 &format!("{} OOM verdict", s.label),
-                if paper_oom { "crash (OOM)" } else { "completes" },
-                if oom.is_some() { "crash (OOM)" } else { "completes" },
+                if paper_oom {
+                    "crash (OOM)"
+                } else {
+                    "completes"
+                },
+                if oom.is_some() {
+                    "crash (OOM)"
+                } else {
+                    "completes"
+                },
                 oom.is_some() == paper_oom,
                 "virtual replay at paper shapes, 512 GB limit",
             );

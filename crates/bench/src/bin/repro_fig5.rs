@@ -45,7 +45,10 @@ fn main() {
             )
         );
         println!("{}", ascii_plot(&[base.clone(), index.clone()], 10));
-        let (b, i) = (base.last_y().unwrap_or(f64::NAN), index.last_y().unwrap_or(f64::NAN));
+        let (b, i) = (
+            base.last_y().unwrap_or(f64::NAN),
+            index.last_y().unwrap_or(f64::NAN),
+        );
         let rel = (b - i).abs() / b.abs().max(1e-9);
         records.push(
             "Fig 5",

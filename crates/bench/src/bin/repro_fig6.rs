@@ -34,7 +34,11 @@ fn main() {
         "Fig 6",
         "standard PGT on PeMS",
         "OOM before training",
-        if std_report.oom.is_some() { "OOM during preprocessing" } else { "completed" },
+        if std_report.oom.is_some() {
+            "OOM during preprocessing"
+        } else {
+            "completed"
+        },
         std_report.oom.is_some(),
         "",
     );

@@ -26,7 +26,12 @@ fn main() {
 
     let mut table = Table::new(
         "Fig 8 — best val MAE vs GPUs (measured, scaled PeMS; global batch grows with workers)",
-        &["GPUs", "Global batch", "Best val MAE", "Best val MAE + LR scaling"],
+        &[
+            "GPUs",
+            "Global batch",
+            "Best val MAE",
+            "Best val MAE + LR scaling",
+        ],
     );
     let mut curves = Vec::new();
     let mut plain_maes = Vec::new();

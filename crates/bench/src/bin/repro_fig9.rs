@@ -45,8 +45,9 @@ fn main() {
     println!("{}", table.to_text());
 
     // Memory at 4 workers (§5.4): generalized single-copy vs materialized.
-    let gen_mem = index_batching_bytes(spec.entries, spec.horizon, spec.nodes, spec.aug_features, 8)
-        + 3 * spec.raw_bytes(8); // standardize temporaries + working set
+    let gen_mem =
+        index_batching_bytes(spec.entries, spec.horizon, spec.nodes, spec.aug_features, 8)
+            + 3 * spec.raw_bytes(8); // standardize temporaries + working set
     let ddp_mem = materialized_bytes(spec.entries, spec.horizon, spec.nodes, spec.aug_features, 8)
         + (spec.entries * spec.nodes * spec.aug_features * 8) as u64
         + spec.raw_bytes(8) * 5;
@@ -83,7 +84,11 @@ fn main() {
         "Fig 9",
         "baseline epoch time flattens",
         "303 s @4 → 231 s @128",
-        format!("{:.0} s @4 → {:.0} s @128", pts[0].ddp_total(), pts[5].ddp_total()),
+        format!(
+            "{:.0} s @4 → {:.0} s @128",
+            pts[0].ddp_total(),
+            pts[5].ddp_total()
+        ),
         pts[5].ddp_total() > pts[0].ddp_total() / 2.5,
         "communication-bound epochs stop scaling",
     );
@@ -91,7 +96,12 @@ fn main() {
         "§5.4",
         "memory @4 workers: gen-index vs baseline",
         "53.28 vs 479.66 GB (9.00x)",
-        format!("{:.1} vs {:.1} GiB ({:.2}x)", gib(gen_mem), gib(ddp_mem), ddp_mem as f64 / gen_mem as f64),
+        format!(
+            "{:.1} vs {:.1} GiB ({:.2}x)",
+            gib(gen_mem),
+            gib(ddp_mem),
+            ddp_mem as f64 / gen_mem as f64
+        ),
         ddp_mem > 7 * gen_mem,
         "analytic footprints",
     );

@@ -34,13 +34,8 @@ fn main() {
     ];
     for (spec, (name, paper)) in DatasetSpec::all().iter().zip(paper_after) {
         let before = spec.raw_bytes(8);
-        let after = materialized_bytes(
-            spec.entries,
-            spec.horizon,
-            spec.nodes,
-            spec.aug_features,
-            8,
-        );
+        let after =
+            materialized_bytes(spec.entries, spec.horizon, spec.nodes, spec.aug_features, 8);
         let index = pgt_index::index_batching_bytes(
             spec.entries,
             spec.horizon,

@@ -70,7 +70,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2 — single-epoch comparison on PeMS-All-LA",
-        &["Model", "Runtime (min)", "Max system mem (GB)", "Max GPU mem (GB)"],
+        &[
+            "Model",
+            "Runtime (min)",
+            "Max system mem (GB)",
+            "Max GPU mem (GB)",
+        ],
     );
     table.row(&[
         "DCRNN".into(),
@@ -131,7 +136,12 @@ fn main() {
         "Table 2",
         "GPU memory: DCRNN ≫ PGT-DCRNN",
         "24.84 vs 1.58 GB (15.7x)",
-        format!("{:.2} vs {:.2} GB ({:.1}x)", gib(dcrnn_gpu), gib(pgt_gpu), dcrnn_gpu as f64 / pgt_gpu as f64),
+        format!(
+            "{:.2} vs {:.2} GB ({:.1}x)",
+            gib(dcrnn_gpu),
+            gib(pgt_gpu),
+            dcrnn_gpu as f64 / pgt_gpu as f64
+        ),
         dcrnn_gpu > 5 * pgt_gpu,
         "tape activation bytes, measured at scaled config, linearly scaled",
     );

@@ -34,7 +34,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 4 — single-GPU PeMS training (30 epochs)",
-        &["Implementation", "Runtime (min)", "CPU memory (GB)", "GPU memory (GB)"],
+        &[
+            "Implementation",
+            "Runtime (min)",
+            "CPU memory (GB)",
+            "GPU memory (GB)",
+        ],
     );
     table.row(&[
         "Index-batching".into(),
@@ -53,7 +58,12 @@ fn main() {
     // --- Measured consolidation at scaled size. ---
     let small = spec.scaled(st_bench::DIST_SCALE);
     let sig = synthetic::generate(&small, st_bench::SEED);
-    let ds = IndexDataset::from_signal(&sig, small.horizon, SplitRatios::default(), Some(small.period));
+    let ds = IndexDataset::from_signal(
+        &sig,
+        small.horizon,
+        SplitRatios::default(),
+        Some(small.period),
+    );
     let count_for = |residency| {
         let pool = MemPool::new("gpu0", 40 * GIB, PoolMode::Virtual);
         let placed = GpuIndexDataset::place(

@@ -14,7 +14,11 @@ use st_report::table::Table;
 fn main() {
     let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(st_bench::DIST_SCALE);
     let sig = synthetic::generate(&spec, st_bench::SEED);
-    let worlds: Vec<usize> = if st_bench::smoke() { vec![2] } else { vec![4, 8, 16] };
+    let worlds: Vec<usize> = if st_bench::smoke() {
+        vec![2]
+    } else {
+        vec![4, 8, 16]
+    };
     let epochs = st_bench::DIST_EPOCHS + 2;
 
     let mut table = Table::new(

@@ -73,17 +73,28 @@ fn main() {
     let batch = 16;
 
     let aug = sig.with_time_feature(spec.period);
-    let base_src = MaterializedDataset::new(materialized_xy(&aug, spec.horizon, SplitRatios::default()));
+    let base_src =
+        MaterializedDataset::new(materialized_xy(&aug, spec.horizon, SplitRatios::default()));
     let base = run(&base_src, &mk_model(), epochs, batch);
-    let index_src = IndexDataset::from_signal(&sig, spec.horizon, SplitRatios::default(), Some(spec.period));
+    let index_src = IndexDataset::from_signal(
+        &sig,
+        spec.horizon,
+        SplitRatios::default(),
+        Some(spec.period),
+    );
     let index = run(&index_src, &mk_model(), epochs, batch);
 
     // Paper-scale memory: full METR-LA footprints.
     let full = DatasetSpec::get(DatasetKind::MetrLa);
     let base_mem = full.raw_bytes(8)
         + materialized_bytes(full.entries, full.horizon, full.nodes, full.aug_features, 8);
-    let index_mem =
-        pgt_index::index_batching_bytes(full.entries, full.horizon, full.nodes, full.aug_features, 8);
+    let index_mem = pgt_index::index_batching_bytes(
+        full.entries,
+        full.horizon,
+        full.nodes,
+        full.aug_features,
+        8,
+    );
 
     let mut table = Table::new(
         "Table 6 — A3T-GCN on METR-LA (measured at scale; memory at paper scale)",
@@ -109,7 +120,12 @@ fn main() {
         "Table 6",
         "A3T-GCN test MSE parity",
         "0.5436 vs 0.5427 (0.2% apart)",
-        format!("{:.4} vs {:.4} ({:.1}% apart)", base.test_mse, index.test_mse, dmse * 100.0),
+        format!(
+            "{:.4} vs {:.4} ({:.1}% apart)",
+            base.test_mse,
+            index.test_mse,
+            dmse * 100.0
+        ),
         dmse < 0.15,
         "measured at scaled size",
     );

@@ -40,8 +40,12 @@ pub struct DistributedXy {
 impl DistributedXy {
     /// Fetch an x/y batch, charging communication for remote rows.
     pub fn fetch(&self, indices: &[usize]) -> (Tensor, Tensor) {
-        let x = self.x.fetch_rows(self.rank, indices, &self.cost, &self.clock);
-        let y = self.y.fetch_rows(self.rank, indices, &self.cost, &self.clock);
+        let x = self
+            .x
+            .fetch_rows(self.rank, indices, &self.cost, &self.clock);
+        let y = self
+            .y
+            .fetch_rows(self.rank, indices, &self.cost, &self.clock);
         (x, y)
     }
 }
@@ -131,8 +135,7 @@ where
             // §7 prefetching: double-buffer the (x, y) fetches so the data
             // plane overlaps with compute instead of serializing with it.
             let mut pf = cfg.prefetch.then(|| {
-                let mut p =
-                    Prefetcher::new(vec![x.clone(), y.clone()], ctx.rank(), cm.clone());
+                let mut p = Prefetcher::new(vec![x.clone(), y.clone()], ctx.rank(), cm.clone());
                 if let Some(first) = chunks.first() {
                     p.issue(first);
                 }
@@ -204,8 +207,8 @@ where
             }
             let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
             let counts = ctx.comm.all_gather_scalar(count as f32);
-            let val_mae = totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0)
-                * view.scaler.std;
+            let val_mae =
+                totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * view.scaler.std;
             epoch_stats.push(DistEpochStats {
                 epoch,
                 train_loss,
@@ -293,7 +296,10 @@ mod tests {
         // Dist-index moves *no* sample data between workers; the baseline's
         // globally-shuffled on-demand fetches move plenty. (Gradient
         // traffic is identical on both sides, so compare data planes.)
-        assert_eq!(index.data_plane_bytes, 0, "dist-index data plane must be empty");
+        assert_eq!(
+            index.data_plane_bytes, 0,
+            "dist-index data plane must be empty"
+        );
         assert!(
             base.data_plane_bytes > 0,
             "baseline must fetch samples remotely"

@@ -146,12 +146,8 @@ where
     let start = std::time::Instant::now();
     let results = run_workers(cfg.world, cfg.topology, |mut ctx| {
         // §4.2: every worker builds its own full local copy.
-        let ds = IndexDataset::from_signal(
-            signal,
-            cfg.horizon,
-            SplitRatios::default(),
-            cfg.time_period,
-        );
+        let ds =
+            IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
         let model = model_factory(&ds);
         let mut ddp = DdpContext::new(model.params());
         ddp.broadcast_parameters(&mut ctx.comm);
@@ -175,12 +171,16 @@ where
         for epoch in 0..cfg.epochs {
             // Communication-free shuffling: shared-seed stripe.
             let my_ids: Vec<usize> = match cfg.shuffle {
-                ShuffleStrategy::Global => {
-                    shuffle::global_stripe(train.len(), cfg.world, ctx.rank(), cfg.seed, epoch as u64)
-                        .into_iter()
-                        .map(|i| train.start + i)
-                        .collect()
-                }
+                ShuffleStrategy::Global => shuffle::global_stripe(
+                    train.len(),
+                    cfg.world,
+                    ctx.rank(),
+                    cfg.seed,
+                    epoch as u64,
+                )
+                .into_iter()
+                .map(|i| train.start + i)
+                .collect(),
                 ShuffleStrategy::Local => {
                     let part = shuffle::contiguous_partition(train.len(), cfg.world, ctx.rank());
                     let ids: Vec<usize> = part.map(|i| train.start + i).collect();
@@ -190,7 +190,8 @@ where
                     let part = shuffle::contiguous_partition(train.len(), cfg.world, ctx.rank());
                     let ids: Vec<usize> = part.map(|i| train.start + i).collect();
                     let nb = ids.len().div_ceil(cfg.batch_per_worker);
-                    let order = shuffle::batch_order_shuffle(nb, cfg.seed, ctx.rank(), epoch as u64);
+                    let order =
+                        shuffle::batch_order_shuffle(nb, cfg.seed, ctx.rank(), epoch as u64);
                     order
                         .into_iter()
                         .flat_map(|b| {
@@ -265,8 +266,8 @@ where
             }
             let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
             let counts = ctx.comm.all_gather_scalar(count as f32);
-            let val_mae = totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0)
-                * ds.scaler().std;
+            let val_mae =
+                totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * ds.scaler().std;
 
             epoch_stats.push(DistEpochStats {
                 epoch,
@@ -330,7 +331,10 @@ mod tests {
         assert_eq!(r.epochs.len(), 4);
         let first = r.epochs.first().unwrap().train_loss;
         let last = r.epochs.last().unwrap().train_loss;
-        assert!(last < first, "distributed loss must fall: {first} -> {last}");
+        assert!(
+            last < first,
+            "distributed loss must fall: {first} -> {last}"
+        );
         assert!(r.best_val_mae().is_finite());
     }
 
@@ -359,7 +363,10 @@ mod tests {
         let r2 = run(2, ShuffleStrategy::Global, 1);
         let a = r1.epochs[0].train_loss;
         let b = r2.epochs[0].train_loss;
-        assert!((a - b).abs() < 0.5 * a.max(b), "first-epoch losses far apart: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 0.5 * a.max(b),
+            "first-epoch losses far apart: {a} vs {b}"
+        );
     }
 
     #[test]

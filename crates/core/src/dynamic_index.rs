@@ -298,7 +298,10 @@ mod tests {
         // Supports are borrowed from the per-entry store, not cloned:
         // entry 4 appears in windows 1..=4 and is the same allocation.
         let (_, _, sup_b) = d.snapshot(4);
-        assert!(std::ptr::eq(sup[1], sup_b[0]), "entry 4 shared by windows 3 and 4");
+        assert!(
+            std::ptr::eq(sup[1], sup_b[0]),
+            "entry 4 shared by windows 3 and 4"
+        );
     }
 
     #[test]

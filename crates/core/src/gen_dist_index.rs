@@ -274,9 +274,9 @@ mod tests {
     use super::*;
     use st_data::datasets::{DatasetKind, DatasetSpec};
     use st_data::synthetic;
+    use st_dist::topology::ClusterTopology;
     use st_graph::diffusion_supports;
     use st_models::{ModelConfig, PgtDcrnn, Support};
-    use st_dist::topology::ClusterTopology;
 
     fn setup() -> (DatasetSpec, StaticGraphTemporalSignal) {
         let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(0.012);
@@ -309,8 +309,7 @@ mod tests {
         // from partition+halo equal snapshots from the full single copy.
         let (spec, sig) = setup();
         let sig_aug = sig.with_time_feature(spec.period);
-        let full =
-            IndexDataset::from_signal(&sig_aug, spec.horizon, SplitRatios::default(), None);
+        let full = IndexDataset::from_signal(&sig_aug, spec.horizon, SplitRatios::default(), None);
         let entries = full
             .data()
             .reshape([sig.entries(), full.num_nodes() * full.num_features()])
@@ -332,7 +331,10 @@ mod tests {
                 &clock,
             );
             // Every boundary-adjacent snapshot must match the full copy.
-            for g in [part.global_train_ids.start, part.global_train_ids.end.saturating_sub(1)] {
+            for g in [
+                part.global_train_ids.start,
+                part.global_train_ids.end.saturating_sub(1),
+            ] {
                 if !part.global_train_ids.contains(&g) {
                     continue;
                 }
@@ -362,7 +364,10 @@ mod tests {
         assert_eq!(r.epochs.len(), 2);
         let first = r.epochs.first().unwrap().train_loss;
         let last = r.epochs.last().unwrap().train_loss;
-        assert!(last <= first * 1.1, "loss roughly non-increasing: {first} -> {last}");
+        assert!(
+            last <= first * 1.1,
+            "loss roughly non-increasing: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -27,8 +27,7 @@ pub fn index_batching_bytes(
     features: usize,
     elem_bytes: usize,
 ) -> u64 {
-    (entries * nodes * features * elem_bytes) as u64
-        + (num_snapshots(entries, horizon) as u64) * 8
+    (entries * nodes * features * elem_bytes) as u64 + (num_snapshots(entries, horizon) as u64) * 8
 }
 
 /// The Fig.-3 data-growth stages for a dataset (float64 byte counts):
@@ -197,9 +196,21 @@ mod tests {
         let g = growth_stages(&spec, 8);
         let gib = |b: u64| b as f64 / GIB as f64;
         assert!((gib(g.raw) - 2.12).abs() < 0.02, "raw {}", gib(g.raw));
-        assert!((gib(g.stage1) - 4.25).abs() < 0.05, "stage1 {}", gib(g.stage1));
-        assert!((gib(g.stage2) - 51.04).abs() < 0.2, "stage2 {}", gib(g.stage2));
-        assert!((gib(g.stage3) - 102.08).abs() < 0.4, "stage3 {}", gib(g.stage3));
+        assert!(
+            (gib(g.stage1) - 4.25).abs() < 0.05,
+            "stage1 {}",
+            gib(g.stage1)
+        );
+        assert!(
+            (gib(g.stage2) - 51.04).abs() < 0.2,
+            "stage2 {}",
+            gib(g.stage2)
+        );
+        assert!(
+            (gib(g.stage3) - 102.08).abs() < 0.4,
+            "stage3 {}",
+            gib(g.stage3)
+        );
     }
 
     #[test]

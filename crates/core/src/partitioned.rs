@@ -162,7 +162,8 @@ pub fn run_partitioned(
     let subgraphs = partitioning.subgraphs(&signal.adjacency, cfg.halo_depth);
 
     // Whole-graph comparison quantities.
-    let whole_ds = IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
+    let whole_ds =
+        IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
     let whole_model = build_model(&whole_ds, signal, cfg);
     let whole_flops = whole_model.flops_per_forward(1);
     let whole_resident_bytes = whole_ds.resident_bytes(4);
@@ -174,7 +175,12 @@ pub fn run_partitioned(
     let mut max_resident = 0u64;
     for sub in &subgraphs {
         let local_sig = node_subset_signal(signal, &sub.global_ids, sub.adjacency.clone());
-        let ds = IndexDataset::from_signal(&local_sig, cfg.horizon, SplitRatios::default(), cfg.time_period);
+        let ds = IndexDataset::from_signal(
+            &local_sig,
+            cfg.horizon,
+            SplitRatios::default(),
+            cfg.time_period,
+        );
         let model = build_model(&ds, &local_sig, cfg);
         let trainer = Trainer::new(TrainerConfig {
             epochs: cfg.epochs,
@@ -391,8 +397,7 @@ mod tests {
         let r = run_partitioned(&sig, &cfg);
         for p in &r.parts {
             let local = p.owned + p.halo;
-            let expected =
-                r.whole_resident_bytes as f64 * local as f64 / sig.num_nodes() as f64;
+            let expected = r.whole_resident_bytes as f64 * local as f64 / sig.num_nodes() as f64;
             let ratio = p.resident_bytes as f64 / expected;
             assert!(
                 (0.8..=1.3).contains(&ratio),

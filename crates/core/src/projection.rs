@@ -297,8 +297,7 @@ pub fn project_scaling(
             let ddp_compute = epochs as f64
                 * (train_batches as f64 * t_batch + val_batches as f64 * t_val_batch + overhead);
             let ddp_comm = epochs as f64
-                * ((train_batches + val_batches) as f64 * fetch
-                    + train_batches as f64 * allreduce);
+                * ((train_batches + val_batches) as f64 * fetch + train_batches as f64 * allreduce);
 
             ScalingPoint {
                 gpus: w,
@@ -417,8 +416,7 @@ pub fn project_fig9(
             let ddp_comm = ddp_volume as f64 / agg;
             // Generalized index: stream the single-copy partition + halo
             // (contiguous reads; halo of 2·horizon − 1 entries per worker).
-            let gen_volume =
-                (train as u64 + (w * (2 * spec.horizon - 1)) as u64) * row_f32;
+            let gen_volume = (train as u64 + (w * (2 * spec.horizon - 1)) as u64) * row_f32;
             let gen_comm = gen_volume as f64 / agg;
             Fig9Point {
                 gpus: w,
@@ -468,7 +466,10 @@ mod tests {
         let pts = project_scaling(&ProjectionParams::default(), &pems(), 30, 64, &[4, 128]);
         let r4 = pts[0].ddp_total() / pts[0].index_total();
         let r128 = pts[1].ddp_total() / pts[1].index_total();
-        assert!((1.5..=2.9).contains(&r4), "4-GPU ratio {r4:.2} vs paper 2.16");
+        assert!(
+            (1.5..=2.9).contains(&r4),
+            "4-GPU ratio {r4:.2} vs paper 2.16"
+        );
         assert!(
             (8.0..=16.0).contains(&r128),
             "128-GPU ratio {r128:.2} vs paper 11.78"
@@ -521,7 +522,10 @@ mod tests {
         };
         let e32 = eff(&pts[3], &pts[0]);
         let e128 = eff(&pts[5], &pts[0]);
-        assert!(e128 < e32, "efficiency must fall at 128 GPUs: {e128} vs {e32}");
+        assert!(
+            e128 < e32,
+            "efficiency must fall at 128 GPUs: {e128} vs {e32}"
+        );
     }
 
     #[test]
@@ -545,7 +549,10 @@ mod tests {
         // 303 s (4 GPUs) to 231 s (128 GPUs).
         let pts = project_fig9(&ProjectionParams::default(), &pems(), 64, &[4, 128]);
         let r4 = pts[0].ddp_total() / pts[0].gen_total();
-        assert!((1.5..=3.2).contains(&r4), "4-GPU fig9 ratio {r4:.2} vs 2.28");
+        assert!(
+            (1.5..=3.2).contains(&r4),
+            "4-GPU fig9 ratio {r4:.2} vs 2.28"
+        );
         // Baseline epoch barely improves 4 → 128.
         let improvement = pts[0].ddp_total() / pts[1].ddp_total();
         assert!(
@@ -554,7 +561,10 @@ mod tests {
         );
         // Generalized index keeps scaling.
         let gen_scale = pts[0].gen_total() / pts[1].gen_total();
-        assert!(gen_scale > 4.0, "gen-index must keep scaling: {gen_scale:.2}×");
+        assert!(
+            gen_scale > 4.0,
+            "gen-index must keep scaling: {gen_scale:.2}×"
+        );
     }
 
     #[test]

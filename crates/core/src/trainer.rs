@@ -163,7 +163,11 @@ impl Trainer {
     }
 
     /// Train `model` on `source`, returning the history.
-    pub fn train<M: Seq2Seq + ?Sized>(&self, model: &M, source: &dyn BatchSource) -> TrainingHistory {
+    pub fn train<M: Seq2Seq + ?Sized>(
+        &self,
+        model: &M,
+        source: &dyn BatchSource,
+    ) -> TrainingHistory {
         let mut opt = Adam::new(model.params(), self.cfg.lr);
         self.train_with_optimizer(model, source, &mut opt)
     }
@@ -182,7 +186,9 @@ impl Trainer {
         let start = std::time::Instant::now();
         for epoch in 0..self.cfg.epochs {
             schedule.apply(opt, epoch);
-            history.epochs.push(self.train_epoch(model, source, opt, epoch));
+            history
+                .epochs
+                .push(self.train_epoch(model, source, opt, epoch));
         }
         history.wall_secs = start.elapsed().as_secs_f64();
         history
@@ -198,7 +204,8 @@ impl Trainer {
     ) -> EpochStats {
         let e0 = std::time::Instant::now();
         let train_ids: Vec<usize> = source.splits().train.clone().collect();
-        let batcher = Batcher::shuffled(train_ids, self.cfg.batch_size, self.cfg.seed, epoch as u64);
+        let batcher =
+            Batcher::shuffled(train_ids, self.cfg.batch_size, self.cfg.seed, epoch as u64);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for batch_ids in batcher.batches() {
@@ -229,7 +236,9 @@ impl Trainer {
         let start = std::time::Instant::now();
         let mut history = TrainingHistory::default();
         for epoch in 0..self.cfg.epochs {
-            history.epochs.push(self.train_epoch(model, source, opt, epoch));
+            history
+                .epochs
+                .push(self.train_epoch(model, source, opt, epoch));
         }
         history.wall_secs = start.elapsed().as_secs_f64();
         history
@@ -279,7 +288,11 @@ impl Trainer {
             let tape = Tape::new();
             let pred = model.forward(&tape, &x);
             let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-            abs_sum += st_tensor::ops::abs(&diff).to_vec().iter().map(|&v| v as f64).sum::<f64>();
+            abs_sum += st_tensor::ops::abs(&diff)
+                .to_vec()
+                .iter()
+                .map(|&v| v as f64)
+                .sum::<f64>();
             count += target.numel();
         }
         // Standardized MAE × σ = MAE in original units.
@@ -424,7 +437,10 @@ mod tests {
         let (x, y) = mat.get_batch(&[0, 1, 2]);
         assert_eq!(x.dims()[0], 3);
         assert_eq!(y.dims(), x.dims());
-        assert_eq!(mat.num_snapshots(), st_data::preprocess::num_snapshots(spec.entries, spec.horizon));
+        assert_eq!(
+            mat.num_snapshots(),
+            st_data::preprocess::num_snapshots(spec.entries, spec.horizon)
+        );
     }
 
     #[test]

@@ -75,11 +75,13 @@ pub fn prepare_single_gpu(
                 Some(p) => signal.with_time_feature(p),
                 None => signal.clone(),
             };
-            Box::new(MaterializedDataset::new(st_data::preprocess::materialized_xy(
-                &augmented,
-                spec.horizon,
-                SplitRatios::default(),
-            )))
+            Box::new(MaterializedDataset::new(
+                st_data::preprocess::materialized_xy(
+                    &augmented,
+                    spec.horizon,
+                    SplitRatios::default(),
+                ),
+            ))
         }
     };
     SingleGpuRun {
@@ -159,8 +161,14 @@ mod tests {
         // Fig 5's claim at miniature scale: equivalent convergence.
         let index = prepare_single_gpu(DatasetKind::ChickenpoxHungary, 0.3, Batching::Index, 8, 7)
             .train(5, 8, 0.01);
-        let std = prepare_single_gpu(DatasetKind::ChickenpoxHungary, 0.3, Batching::Standard, 8, 7)
-            .train(5, 8, 0.01);
+        let std = prepare_single_gpu(
+            DatasetKind::ChickenpoxHungary,
+            0.3,
+            Batching::Standard,
+            8,
+            7,
+        )
+        .train(5, 8, 0.01);
         let (i, s) = (index.best_val_mae(), std.best_val_mae());
         assert!(
             (i - s).abs() < 0.25 * i.max(s),

@@ -246,6 +246,8 @@ mod tests {
     fn all_lists_six_in_order() {
         let all = DatasetSpec::all();
         assert_eq!(all.len(), 6);
-        assert!(all.windows(2).all(|w| w[0].raw_bytes(8) <= w[1].raw_bytes(8)));
+        assert!(all
+            .windows(2)
+            .all(|w| w[0].raw_bytes(8) <= w[1].raw_bytes(8)));
     }
 }

@@ -17,7 +17,13 @@ pub fn generate(network: &SensorNetwork, entries: usize, seed: u64) -> StaticGra
     let population: Vec<f32> = (0..n).map(|_| rng.gen_range(50.0..500.0)).collect();
     let mut susceptible: Vec<f32> = population.clone();
     let mut infected: Vec<f32> = (0..n)
-        .map(|_| if rng.gen_bool(0.2) { rng.gen_range(1.0..5.0) } else { 0.0 })
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                rng.gen_range(1.0..5.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let adj = &network.adjacency;

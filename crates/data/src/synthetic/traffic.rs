@@ -29,11 +29,7 @@ pub fn generate(
     let free_flow: Vec<f32> = (0..n).map(|_| rng.gen_range(58.0..70.0)).collect();
     let rush_severity: Vec<f32> = (0..n).map(|_| rng.gen_range(10.0..30.0)).collect();
     // Congestion propagates along the corridor: phase shift by x-coordinate.
-    let phase: Vec<f32> = network
-        .coords
-        .iter()
-        .map(|&(x, _)| x * 0.02)
-        .collect();
+    let phase: Vec<f32> = network.coords.iter().map(|&(x, _)| x * 0.02).collect();
 
     // Random-walk transition used to diffuse congestion shocks spatially.
     let p = st_graph::transition::random_walk(&network.adjacency);
@@ -59,10 +55,8 @@ pub fn generate(
             let tod = day_pos + phase[i];
             // Two rush-hour dips (8am-ish, 5pm-ish as fractions of the day).
             let rush = gaussian_bump(tod, 0.33, 0.05) + gaussian_bump(tod, 0.71, 0.06);
-            let speed = free_flow[i]
-                - rush_severity[i] * rush
-                - congestion[i]
-                + rng.gen_range(-1.5..1.5);
+            let speed =
+                free_flow[i] - rush_severity[i] * rush - congestion[i] + rng.gen_range(-1.5..1.5);
             out.push(speed.max(3.0));
         }
     }
@@ -103,15 +97,10 @@ mod tests {
         let sig = generate(&net, 600, 288, 11);
         // Average correlation between adjacent sensors must exceed the
         // correlation between the two corridor endpoints.
-        let series = |i: usize| -> Vec<f32> {
-            (0..600).map(|t| sig.data.at(&[t, i, 0])).collect()
-        };
+        let series = |i: usize| -> Vec<f32> { (0..600).map(|t| sig.data.at(&[t, i, 0])).collect() };
         let corr = |a: &[f32], b: &[f32]| -> f32 {
             let n = a.len() as f32;
-            let (ma, mb) = (
-                a.iter().sum::<f32>() / n,
-                b.iter().sum::<f32>() / n,
-            );
+            let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);
             let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
             let (va, vb): (f32, f32) = (
                 a.iter().map(|x| (x - ma).powi(2)).sum(),

@@ -52,8 +52,8 @@ impl DeviceSpec {
         DeviceSpec {
             name: "NVIDIA A100-SXM4-40GB".into(),
             mem_capacity: 40 * GIB,
-            flops: 14.0e12,          // effective FP32 on GEMM-like kernels
-            mem_bandwidth: 1.3e12,   // HBM2e, effective
+            flops: 14.0e12,        // effective FP32 on GEMM-like kernels
+            mem_bandwidth: 1.3e12, // HBM2e, effective
         }
     }
 
@@ -78,7 +78,11 @@ mod tests {
         let host = DeviceSpec::polaris_host();
         assert_eq!(host.mem_capacity, 512 * GIB, "paper: 512 GB of DDR4 RAM");
         let gpu = DeviceSpec::a100_40gb();
-        assert_eq!(gpu.mem_capacity, 40 * GIB, "paper: A100 40 GB (Table 2 shows /40)");
+        assert_eq!(
+            gpu.mem_capacity,
+            40 * GIB,
+            "paper: A100 40 GB (Table 2 shows /40)"
+        );
         assert!(gpu.flops > host.flops, "GPU must out-compute the host");
     }
 

@@ -1,0 +1,301 @@
+//! The Dask-style distributed data service backing baseline DDP (§5) and
+//! the generalized mode's shared entry array (§5.4).
+//!
+//! A [`DistributedArray`] is a row-partitioned tensor: rank `r` owns a
+//! subset of dim-0 rows (by [`PartitionPolicy`]). Fetches are
+//! **request-batched** — one modeled message per remote *owner* per call,
+//! the optimization the paper's authors added to their Dask baseline — and
+//! every remote row lands on the shared ledger (`remote_bytes`,
+//! `remote_requests`), which is exactly the data-plane bar of Fig. 7.
+//!
+//! The backing store is one in-process tensor (clones are O(1) via shared
+//! storage), so "remote" reads cost simulated time and ledger bytes but no
+//! real copies beyond batch assembly.
+
+use crate::shuffle::contiguous_partition;
+use crate::topology::ClusterTopology;
+use st_device::{CostModel, SimClock};
+use st_tensor::Tensor;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How rows map to owning ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// Rank `r` owns a balanced contiguous block (halo-friendly: a
+    /// contiguous window read touches at most two owners).
+    Contiguous,
+    /// Round-robin rows (`row % world`): balanced for any access pattern,
+    /// but a contiguous read touches every rank.
+    Strided,
+}
+
+impl PartitionPolicy {
+    /// The rank owning `row` of `rows` total across `world` ranks.
+    pub fn owner_of(&self, row: usize, rows: usize, world: usize) -> usize {
+        assert!(world > 0, "world must be positive");
+        match self {
+            PartitionPolicy::Contiguous => {
+                if rows == 0 {
+                    return 0;
+                }
+                let base = rows / world;
+                let rem = rows % world;
+                // First `rem` ranks own `base + 1` rows.
+                let boundary = rem * (base + 1);
+                if row < boundary {
+                    row / (base + 1)
+                } else if base > 0 {
+                    rem + (row - boundary) / base
+                } else {
+                    world - 1 // more ranks than rows: tail rows pile on the last
+                }
+            }
+            PartitionPolicy::Strided => row % world,
+        }
+    }
+}
+
+/// A row-partitioned tensor with a remote-traffic ledger. Constructors
+/// return `Arc<Self>` so worker threads share one ledger.
+pub struct DistributedArray {
+    data: Tensor,
+    world: usize,
+    topology: ClusterTopology,
+    elem_bytes: usize,
+    policy: PartitionPolicy,
+    remote_bytes: AtomicU64,
+    remote_requests: AtomicU64,
+}
+
+impl DistributedArray {
+    /// Partition `data`'s rows contiguously across `world` ranks.
+    /// `elem_bytes` sets the modeled payload width per scalar (the paper's
+    /// Dask baseline ships float64, i.e. 8, even though compute is f32).
+    pub fn new(
+        data: Tensor,
+        world: usize,
+        topology: ClusterTopology,
+        elem_bytes: usize,
+    ) -> Arc<Self> {
+        Self::with_policy(
+            data,
+            world,
+            topology,
+            elem_bytes,
+            PartitionPolicy::Contiguous,
+        )
+    }
+
+    /// Like [`DistributedArray::new`] with an explicit ownership policy.
+    pub fn with_policy(
+        data: Tensor,
+        world: usize,
+        topology: ClusterTopology,
+        elem_bytes: usize,
+        policy: PartitionPolicy,
+    ) -> Arc<Self> {
+        assert!(world > 0, "world must be positive");
+        assert!(data.rank() >= 1, "need at least one dimension to partition");
+        Arc::new(DistributedArray {
+            data: data.contiguous(),
+            world,
+            topology,
+            elem_bytes,
+            policy,
+            remote_bytes: AtomicU64::new(0),
+            remote_requests: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of rows (dim 0).
+    pub fn rows(&self) -> usize {
+        self.data.dim(0)
+    }
+
+    /// Modeled bytes of one row.
+    pub fn row_bytes(&self) -> u64 {
+        ((self.data.numel() / self.rows().max(1)) * self.elem_bytes) as u64
+    }
+
+    /// The contiguous row range rank `rank` owns (meaningful for the
+    /// contiguous policy; strided owners interleave).
+    pub fn partition(&self, rank: usize) -> Range<usize> {
+        contiguous_partition(self.rows(), self.world, rank)
+    }
+
+    /// Total remote row bytes fetched so far, across all ranks.
+    pub fn remote_bytes(&self) -> u64 {
+        self.remote_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total remote fetch requests (one per remote owner per call).
+    pub fn remote_requests(&self) -> u64 {
+        self.remote_requests.load(Ordering::Relaxed)
+    }
+
+    /// Request-batch `row_iter`'s remote rows — one modeled message per
+    /// remote owner — onto the ledger, returning the modeled seconds.
+    fn charge_owners(
+        &self,
+        rank: usize,
+        row_iter: impl Iterator<Item = usize>,
+        cm: &CostModel,
+    ) -> f64 {
+        let rows = self.rows();
+        let mut per_owner_bytes = vec![0u64; self.world];
+        for idx in row_iter {
+            assert!(idx < rows, "row {idx} out of bounds ({rows})");
+            let owner = self.policy.owner_of(idx, rows, self.world);
+            if owner != rank {
+                per_owner_bytes[owner] += self.row_bytes();
+            }
+        }
+        let mut secs = 0.0;
+        for (owner, &bytes) in per_owner_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            secs += cm.remote_fetch(bytes, self.topology.same_node(rank, owner));
+            self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.remote_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        secs
+    }
+
+    /// Gather `indices` rows for `rank`, recording remote traffic on the
+    /// ledger and returning `(batch, modeled seconds)` without charging any
+    /// clock — the quote lets callers overlap the time (prefetching) or
+    /// charge it synchronously ([`DistributedArray::fetch_rows`]).
+    pub fn fetch_rows_quoted(
+        &self,
+        rank: usize,
+        indices: &[usize],
+        cm: &CostModel,
+    ) -> (Tensor, f64) {
+        let secs = self.charge_owners(rank, indices.iter().copied(), cm);
+        let batch = self
+            .data
+            .index_select0(indices)
+            .expect("indices validated by charge_owners");
+        (batch, secs)
+    }
+
+    /// Gather `indices` rows for `rank`, charging the modeled fetch time to
+    /// `clock` synchronously.
+    pub fn fetch_rows(
+        &self,
+        rank: usize,
+        indices: &[usize],
+        cm: &CostModel,
+        clock: &SimClock,
+    ) -> Tensor {
+        let (batch, secs) = self.fetch_rows_quoted(rank, indices, cm);
+        if secs > 0.0 {
+            clock.advance_comm(secs);
+        }
+        batch
+    }
+
+    /// Read a contiguous row range (a partition plus its halo in the
+    /// generalized mode): one modeled message per remote owner touched,
+    /// returning a zero-copy view of the backing tensor.
+    pub fn fetch_range(
+        &self,
+        rank: usize,
+        range: Range<usize>,
+        cm: &CostModel,
+        clock: &SimClock,
+    ) -> Tensor {
+        let secs = self.charge_owners(rank, range.clone(), cm);
+        if secs > 0.0 {
+            clock.advance_comm(secs);
+        }
+        self.data
+            .narrow(0, range.start, range.len())
+            .expect("range validated by charge_owners")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(rows: usize, world: usize, policy: PartitionPolicy) -> Arc<DistributedArray> {
+        let t = Tensor::from_vec((0..rows * 3).map(|v| v as f32).collect(), [rows, 3]).unwrap();
+        DistributedArray::with_policy(t, world, ClusterTopology::polaris(), 4, policy)
+    }
+
+    #[test]
+    fn local_rows_are_free() {
+        let a = arr(16, 4, PartitionPolicy::Contiguous);
+        let cm = CostModel::polaris();
+        let clock = SimClock::new();
+        let own: Vec<usize> = a.partition(0).collect();
+        let batch = a.fetch_rows(0, &own, &cm, &clock);
+        assert_eq!(batch.dims(), &[4, 3]);
+        assert_eq!(a.remote_bytes(), 0);
+        assert_eq!(a.remote_requests(), 0);
+        assert_eq!(clock.comm_secs(), 0.0);
+    }
+
+    #[test]
+    fn remote_rows_charge_time_and_ledger() {
+        let a = arr(16, 4, PartitionPolicy::Contiguous);
+        let cm = CostModel::polaris();
+        let clock = SimClock::new();
+        // Rows 12..16 belong to rank 3; fetch them as rank 0.
+        let batch = a.fetch_rows(0, &[12, 13, 14, 15], &cm, &clock);
+        assert_eq!(batch.to_vec()[0], 36.0);
+        assert_eq!(a.remote_bytes(), 4 * 3 * 4);
+        assert_eq!(
+            a.remote_requests(),
+            1,
+            "request batching: one owner, one message"
+        );
+        assert!(clock.comm_secs() > 0.0);
+    }
+
+    #[test]
+    fn strided_policy_spreads_ownership() {
+        let a = arr(16, 4, PartitionPolicy::Strided);
+        let cm = CostModel::polaris();
+        // A contiguous 8-row read touches 3 remote owners under striding.
+        let ids: Vec<usize> = (0..8).collect();
+        let (_, secs) = a.fetch_rows_quoted(0, &ids, &cm);
+        assert!(secs > 0.0);
+        assert_eq!(a.remote_requests(), 3);
+        assert_eq!(a.remote_bytes(), 6 * 3 * 4, "6 of 8 rows are remote");
+    }
+
+    #[test]
+    fn fetch_range_returns_a_view() {
+        let a = arr(10, 2, PartitionPolicy::Contiguous);
+        let cm = CostModel::polaris();
+        let clock = SimClock::new();
+        let window = a.fetch_range(0, 3..8, &cm, &clock);
+        assert_eq!(window.dims(), &[5, 3]);
+        assert_eq!(window.to_vec()[0], 9.0);
+        // Rows 5..8 were remote (rank 1 owns 5..10).
+        assert_eq!(a.remote_bytes(), 3 * 3 * 4);
+        assert!(clock.comm_secs() > 0.0);
+    }
+
+    #[test]
+    fn owner_of_matches_contiguous_partition() {
+        for rows in [1usize, 7, 16, 33] {
+            for world in [1usize, 2, 5, 8] {
+                for rank in 0..world {
+                    for idx in contiguous_partition(rows, world, rank) {
+                        assert_eq!(
+                            PartitionPolicy::Contiguous.owner_of(idx, rows, world),
+                            rank,
+                            "rows={rows} world={world} idx={idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! DDP-style parameter broadcast and gradient averaging.
+//!
+//! Mirrors PyTorch DistributedDataParallel at the granularity this repo
+//! needs: parameters are flattened into one f32 bucket per collective, so a
+//! training step costs a single all-reduce regardless of parameter count
+//! (DDP's bucketing, degenerated to one bucket). Ranks whose epoch ran out
+//! of batches contribute zero gradients but still enter the collective —
+//! see [`crate::shuffle::common_rounds`].
+
+use crate::launch::Comm;
+use st_autograd::module::Param;
+use st_tensor::Tensor;
+
+/// Per-replica DDP state: the parameter list this worker synchronizes.
+pub struct DdpContext {
+    params: Vec<Param>,
+}
+
+impl DdpContext {
+    /// Wrap a replica's parameters (order must match across ranks).
+    pub fn new(params: Vec<Param>) -> Self {
+        DdpContext { params }
+    }
+
+    /// Number of synchronized parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total scalars synchronized per all-reduce.
+    pub fn numel(&self) -> usize {
+        self.params.iter().map(|p| p.numel()).sum()
+    }
+
+    /// Bytes of one gradient bucket (f32).
+    pub fn grad_bytes(&self) -> u64 {
+        (self.numel() * 4) as u64
+    }
+
+    /// Overwrite every rank's parameter values with rank 0's, so replicas
+    /// start identical even if a model factory ignored the shared seed.
+    pub fn broadcast_parameters(&mut self, comm: &mut Comm) {
+        let mut bucket: Vec<f32> = Vec::with_capacity(self.numel());
+        for p in &self.params {
+            bucket.extend_from_slice(&p.value().to_vec());
+        }
+        comm.broadcast(&mut bucket);
+        let mut offset = 0;
+        for p in &self.params {
+            let value = p.value();
+            let n = value.numel();
+            let slice = bucket[offset..offset + n].to_vec();
+            offset += n;
+            p.set_value(
+                Tensor::from_vec(slice, value.dims().to_vec()).expect("bucket slice matches shape"),
+            );
+        }
+    }
+
+    /// Average gradients across ranks in one flat all-reduce. Parameters
+    /// with no local gradient contribute zeros; afterwards every parameter
+    /// on every rank holds the identical averaged gradient.
+    pub fn average_gradients(&mut self, comm: &mut Comm) {
+        let mut bucket: Vec<f32> = Vec::with_capacity(self.numel());
+        for p in &self.params {
+            match p.grad() {
+                Some(g) => bucket.extend_from_slice(&g.to_vec()),
+                None => bucket.extend(std::iter::repeat(0.0).take(p.numel())),
+            }
+        }
+        comm.all_reduce_mean(&mut bucket);
+        let mut offset = 0;
+        for p in &self.params {
+            let value = p.value();
+            let n = value.numel();
+            let slice = bucket[offset..offset + n].to_vec();
+            offset += n;
+            p.set_grad(Some(
+                Tensor::from_vec(slice, value.dims().to_vec()).expect("bucket slice matches shape"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::run_workers;
+    use crate::topology::ClusterTopology;
+
+    fn param(name: &str, vals: Vec<f32>) -> Param {
+        let n = vals.len();
+        Param::new(name, Tensor::from_vec(vals, [n]).unwrap())
+    }
+
+    #[test]
+    fn broadcast_copies_rank0_values_everywhere() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            let p = param("w", vec![ctx.rank() as f32; 4]);
+            let mut ddp = DdpContext::new(vec![p.clone()]);
+            ddp.broadcast_parameters(&mut ctx.comm);
+            p.value().to_vec()
+        });
+        for vals in out {
+            assert_eq!(vals, vec![0.0; 4]);
+        }
+    }
+
+    #[test]
+    fn averaging_fills_missing_grads_with_zeros() {
+        let out = run_workers(2, ClusterTopology::polaris(), |mut ctx| {
+            let p = param("w", vec![0.0; 2]);
+            if ctx.rank() == 0 {
+                p.set_grad(Some(Tensor::from_vec(vec![4.0, 8.0], [2]).unwrap()));
+            } // rank 1: no grad — an exhausted rank meeting the collective
+            let mut ddp = DdpContext::new(vec![p.clone()]);
+            ddp.average_gradients(&mut ctx.comm);
+            p.grad().unwrap().to_vec()
+        });
+        for vals in out {
+            assert_eq!(vals, vec![2.0, 4.0], "mean of (grad, zeros)");
+        }
+    }
+}

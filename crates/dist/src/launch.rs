@@ -1,0 +1,348 @@
+//! Worker launch and barrier-synchronized collectives.
+//!
+//! [`run_workers`] spawns one OS thread per rank; each gets a [`WorkerCtx`]
+//! holding a [`Comm`] (rank + shared [`CommHub`]) and its own
+//! [`SimClock`]. Collectives exchange payloads through the hub under a
+//! reusable barrier and combine them **in rank order**, so results are
+//! bit-identical regardless of thread scheduling — the invariant that lets
+//! the simulated clock model stragglers without perturbing numerics
+//! (`tests/distributed.rs::straggler_noise_never_leaks_into_numerics`).
+//!
+//! Every collective also synchronizes simulated clocks to the latest rank
+//! (barrier semantics: nobody leaves an all-reduce before the slowest
+//! arrives) and then charges the modeled collective time from
+//! [`CostModel::allreduce`].
+
+use crate::topology::ClusterTopology;
+use st_device::{CostModel, SimClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Shared state for one `run_workers` world: payload slots, a reusable
+/// barrier, the cost model, and the cross-rank traffic ledger.
+pub struct CommHub {
+    world: usize,
+    topology: ClusterTopology,
+    cost: CostModel,
+    /// One payload slot per rank; `(simulated now, payload)`.
+    slots: Mutex<Vec<Option<(f64, Vec<f32>)>>>,
+    barrier: Barrier,
+    /// Total collective payload bytes moved across all ranks.
+    bytes: AtomicU64,
+}
+
+impl CommHub {
+    /// Hub for `world` ranks on `topology`, with Polaris cost constants.
+    pub fn new(world: usize, topology: ClusterTopology) -> Self {
+        assert!(world > 0, "world must be positive");
+        CommHub {
+            world,
+            topology,
+            cost: CostModel::default(),
+            slots: Mutex::new(vec![None; world]),
+            barrier: Barrier::new(world),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> ClusterTopology {
+        self.topology
+    }
+
+    /// The cost model all collectives charge against.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total collective payload bytes moved so far (all ranks).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's handle on the collective hub.
+pub struct Comm {
+    rank: usize,
+    hub: Arc<CommHub>,
+    clock: SimClock,
+}
+
+impl Comm {
+    /// This rank's index in `[0, world)`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The shared hub (cost model, topology, byte ledger).
+    pub fn hub(&self) -> &CommHub {
+        &self.hub
+    }
+
+    /// Exchange `payload` with every rank; returns all payloads in rank
+    /// order. The building block for every collective below. Synchronizes
+    /// simulated clocks to the slowest rank.
+    fn exchange(&mut self, payload: Vec<f32>) -> Vec<Vec<f32>> {
+        if self.hub.world == 1 {
+            return vec![payload];
+        }
+        {
+            let mut slots = self.hub.slots.lock().unwrap();
+            slots[self.rank] = Some((self.clock.now(), payload));
+        }
+        // Everyone has written.
+        self.hub.barrier.wait();
+        let (t_max, all) = {
+            let slots = self.hub.slots.lock().unwrap();
+            let t_max = slots
+                .iter()
+                .map(|s| s.as_ref().expect("slot filled").0)
+                .fold(0.0_f64, f64::max);
+            let all: Vec<Vec<f32>> = slots
+                .iter()
+                .map(|s| s.as_ref().expect("slot filled").1.clone())
+                .collect();
+            (t_max, all)
+        };
+        // Everyone has read; only now may a rank start the next collective
+        // (its slot write would otherwise race a slow reader).
+        self.hub.barrier.wait();
+        self.clock.sync_to(t_max);
+        all
+    }
+
+    /// Charge modeled time and ledger bytes for a ring all-reduce of
+    /// `payload_elems` f32 per rank.
+    fn charge_allreduce(&self, payload_elems: usize) {
+        let world = self.hub.world;
+        if world == 1 {
+            return;
+        }
+        let bytes = (payload_elems * 4) as u64;
+        let secs = self
+            .hub
+            .cost
+            .allreduce(bytes, world, self.hub.topology.gpus_per_node);
+        self.clock.advance_comm(secs);
+        // Ledger once per collective: rank 0 records the total ring volume.
+        if self.rank == 0 {
+            self.hub
+                .bytes
+                .fetch_add(2 * (world as u64 - 1) * bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Element-wise mean across ranks, in place. Deterministic: the sum is
+    /// accumulated in rank order on every rank.
+    pub fn all_reduce_mean(&mut self, buf: &mut [f32]) {
+        let world = self.hub.world as f32;
+        self.all_reduce_sum(buf);
+        for v in buf.iter_mut() {
+            *v /= world;
+        }
+    }
+
+    /// Element-wise sum across ranks, in place.
+    pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
+        let n = buf.len();
+        let all = self.exchange(buf.to_vec());
+        buf.fill(0.0);
+        for contribution in &all {
+            assert_eq!(contribution.len(), n, "all-reduce length mismatch");
+            for (acc, v) in buf.iter_mut().zip(contribution) {
+                *acc += v;
+            }
+        }
+        self.charge_allreduce(n);
+    }
+
+    /// Gather one scalar from every rank, in rank order.
+    pub fn all_gather_scalar(&mut self, v: f32) -> Vec<f32> {
+        let all = self.exchange(vec![v]);
+        self.charge_allreduce(1);
+        all.into_iter().map(|p| p[0]).collect()
+    }
+
+    /// Overwrite `buf` with rank 0's copy on every rank.
+    pub fn broadcast(&mut self, buf: &mut [f32]) {
+        let world = self.hub.world;
+        if world == 1 {
+            return;
+        }
+        let n = buf.len();
+        let all = self.exchange(buf.to_vec());
+        assert_eq!(all[0].len(), n, "broadcast length mismatch");
+        buf.copy_from_slice(&all[0]);
+        // Tree broadcast: everyone receives one copy from upstream.
+        let bytes = (n * 4) as u64;
+        let hops = (world as f64).log2().ceil();
+        let secs = hops * (self.hub.cost.network_latency + bytes as f64 / self.hub.cost.network_bw);
+        self.clock.advance_comm(secs);
+        if self.rank == 0 {
+            self.hub
+                .bytes
+                .fetch_add((world as u64 - 1) * bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Barrier: rendezvous and synchronize simulated clocks.
+    pub fn barrier(&mut self) {
+        let _ = self.exchange(Vec::new());
+    }
+}
+
+/// Per-worker context handed to the `run_workers` closure.
+pub struct WorkerCtx {
+    /// Collective communicator bound to this rank.
+    pub comm: Comm,
+    /// This worker's simulated clock (shared with `comm`, which charges
+    /// collective time onto it).
+    pub clock: SimClock,
+}
+
+impl WorkerCtx {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Total ranks in this run.
+    pub fn world(&self) -> usize {
+        self.comm.hub().world()
+    }
+}
+
+/// Spawn `world` worker threads, run `f(ctx)` on each, and return the
+/// results **in rank order**. Panics in any worker propagate.
+///
+/// The closure is shared (`Fn + Sync`) and may borrow from the caller;
+/// results only need `Send`.
+pub fn run_workers<F, R>(world: usize, topology: ClusterTopology, f: F) -> Vec<R>
+where
+    F: Fn(WorkerCtx) -> R + Sync,
+    R: Send,
+{
+    assert!(world > 0, "world must be positive");
+    let hub = Arc::new(CommHub::new(world, topology));
+    if world == 1 {
+        // Fast path: no thread spawn for single-rank runs.
+        let clock = SimClock::new();
+        let comm = Comm {
+            rank: 0,
+            hub,
+            clock: clock.clone(),
+        };
+        return vec![f(WorkerCtx { comm, clock })];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..world)
+            .map(|rank| {
+                let hub = Arc::clone(&hub);
+                let f = &f;
+                scope.spawn(move || {
+                    let clock = SimClock::new();
+                    let comm = Comm {
+                        rank,
+                        hub,
+                        clock: clock.clone(),
+                    };
+                    f(WorkerCtx { comm, clock })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = run_workers(4, ClusterTopology::polaris(), |ctx| ctx.rank());
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_reduce_sum_is_exact_and_symmetric() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            let mut buf = vec![ctx.rank() as f32, 1.0];
+            ctx.comm.all_reduce_sum(&mut buf);
+            buf
+        });
+        for r in out {
+            assert_eq!(r, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn all_gather_scalar_orders_by_rank() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            ctx.comm.all_gather_scalar(10.0 * ctx.rank() as f32)
+        });
+        for r in out {
+            assert_eq!(r, vec![0.0, 10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_imposes_rank0_values() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            let mut buf = vec![ctx.rank() as f32; 4];
+            ctx.comm.broadcast(&mut buf);
+            buf
+        });
+        for r in out {
+            assert_eq!(r, vec![0.0; 4]);
+        }
+    }
+
+    #[test]
+    fn collectives_charge_time_and_bytes() {
+        let out = run_workers(2, ClusterTopology::polaris(), |mut ctx| {
+            let mut buf = vec![1.0f32; 1024];
+            ctx.comm.all_reduce_mean(&mut buf);
+            (ctx.clock.comm_secs(), ctx.comm.hub().bytes_moved())
+        });
+        for (comm_secs, bytes) in out {
+            assert!(comm_secs > 0.0);
+            // 2(world-1) × 4 KiB payload = 8 KiB on the ledger.
+            assert_eq!(bytes, 2 * 1024 * 4);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let out = run_workers(1, ClusterTopology::polaris(), |mut ctx| {
+            let mut buf = vec![2.0f32; 8];
+            ctx.comm.all_reduce_mean(&mut buf);
+            (buf, ctx.clock.comm_secs(), ctx.comm.hub().bytes_moved())
+        });
+        let (buf, secs, bytes) = &out[0];
+        assert_eq!(*buf, vec![2.0f32; 8]);
+        assert_eq!(*secs, 0.0);
+        assert_eq!(*bytes, 0);
+    }
+
+    #[test]
+    fn clocks_sync_to_the_slowest_rank() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            ctx.clock.advance_compute(ctx.rank() as f64);
+            ctx.comm.barrier();
+            ctx.clock.now()
+        });
+        // All ranks leave the barrier at (at least) the slowest rank's time.
+        for now in out {
+            assert!(now >= 2.0, "now = {now}");
+        }
+    }
+}

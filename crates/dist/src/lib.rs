@@ -1,0 +1,39 @@
+//! # st-dist
+//!
+//! The simulated distributed runtime behind PGT-I's headline contribution
+//! (§4.2, §5.4): every "GPU worker" is an OS thread with its own model
+//! replica and [`st_device::SimClock`]; collectives are barrier-synchronized
+//! exchanges through a shared in-process hub that charge *modeled* Polaris
+//! time (via [`st_device::CostModel`]) while keeping numerics bit-identical
+//! regardless of thread scheduling.
+//!
+//! Modules:
+//! - [`topology`] — cluster shape (ranks per node) deciding whether traffic
+//!   rides NVLink or the inter-node network.
+//! - [`launch`] — [`launch::run_workers`]: spawn one thread per rank, hand
+//!   each a [`launch::WorkerCtx`] (communicator + clock), join in rank order.
+//! - [`ddp`] — [`ddp::DdpContext`]: parameter broadcast and gradient
+//!   averaging over flat f32 buckets, mirroring PyTorch DDP.
+//! - [`shuffle`] — the paper's communication-free epoch shuffling: shared-
+//!   seed global stripes, local and batch-order variants, and the partition
+//!   arithmetic (`contiguous_partition`, `common_rounds`, `range_overlap`)
+//!   that keeps ragged ranks aligned on collectives.
+//! - [`datasvc`] — [`datasvc::DistributedArray`]: the Dask-style baseline
+//!   data service (partitioned rows, on-demand batched fetches, remote-byte
+//!   ledger).
+//! - [`prefetch`] — [`prefetch::Prefetcher`]: double-buffered fetches that
+//!   overlap the data plane with compute (§7).
+
+pub mod datasvc;
+pub mod ddp;
+pub mod launch;
+pub mod prefetch;
+pub mod shuffle;
+pub mod topology;
+
+pub use datasvc::{DistributedArray, PartitionPolicy};
+pub use ddp::DdpContext;
+pub use launch::{run_workers, Comm, CommHub, WorkerCtx};
+pub use prefetch::Prefetcher;
+pub use shuffle::ShuffleStrategy;
+pub use topology::ClusterTopology;

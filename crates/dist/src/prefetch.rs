@@ -1,0 +1,131 @@
+//! Double-buffered batch prefetching (§7 future work, ablated in
+//! `repro_ablation_prefetch`): issue the next batch's fetch, overlap its
+//! modeled time with compute, and charge only the *exposed* remainder when
+//! the consumer waits. Bytes on the [`DistributedArray`] ledger are
+//! identical to synchronous fetching — prefetching hides time, not traffic.
+
+use crate::datasvc::DistributedArray;
+use st_device::{CostModel, SimClock};
+use st_tensor::Tensor;
+use std::sync::Arc;
+
+/// Double-buffers fetches from a set of parallel arrays (e.g. the x and y
+/// halves of a materialized dataset) for one rank.
+pub struct Prefetcher {
+    arrays: Vec<Arc<DistributedArray>>,
+    rank: usize,
+    cost: CostModel,
+    /// In-flight fetch: tensors (one per array, in `arrays` order) plus the
+    /// not-yet-hidden seconds of its modeled transfer time.
+    pending: Option<(Vec<Tensor>, f64)>,
+}
+
+impl Prefetcher {
+    /// A prefetcher for `rank` over `arrays` (fetches hit every array with
+    /// the same indices).
+    pub fn new(arrays: Vec<Arc<DistributedArray>>, rank: usize, cost: CostModel) -> Self {
+        Prefetcher {
+            arrays,
+            rank,
+            cost,
+            pending: None,
+        }
+    }
+
+    /// Start fetching `indices` in the background. Ledger bytes are
+    /// recorded immediately (the traffic is real either way); the modeled
+    /// seconds are held back so compute can hide them via
+    /// [`Prefetcher::overlap`].
+    pub fn issue(&mut self, indices: &[usize]) {
+        assert!(
+            self.pending.is_none(),
+            "double-buffer depth is one: wait() first"
+        );
+        let mut tensors = Vec::with_capacity(self.arrays.len());
+        let mut secs = 0.0;
+        for array in &self.arrays {
+            let (t, s) = array.fetch_rows_quoted(self.rank, indices, &self.cost);
+            tensors.push(t);
+            secs += s;
+        }
+        self.pending = Some((tensors, secs));
+    }
+
+    /// Credit `secs` of concurrent compute against the in-flight fetch —
+    /// its exposed time shrinks, saturating at zero.
+    pub fn overlap(&mut self, secs: f64) {
+        if let Some((_, exposed)) = &mut self.pending {
+            *exposed = (*exposed - secs).max(0.0);
+        }
+    }
+
+    /// Block on the in-flight fetch: charge whatever time compute did not
+    /// hide, and hand back the tensors (in the order `arrays` were given).
+    pub fn wait(&mut self, clock: &SimClock) -> Vec<Tensor> {
+        let (tensors, exposed) = self.pending.take().expect("no fetch in flight");
+        if exposed > 0.0 {
+            clock.advance_comm(exposed);
+        }
+        tensors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterTopology;
+
+    fn array(rows: usize) -> Arc<DistributedArray> {
+        let t = Tensor::from_vec((0..rows * 2).map(|v| v as f32).collect(), [rows, 2]).unwrap();
+        DistributedArray::new(t, 4, ClusterTopology::polaris(), 4)
+    }
+
+    #[test]
+    fn full_overlap_hides_all_fetch_time() {
+        let a = array(16);
+        let cm = CostModel::polaris();
+        let clock = SimClock::new();
+        let mut pf = Prefetcher::new(vec![a.clone()], 0, cm);
+        pf.issue(&[12, 13]); // remote rows
+        pf.overlap(10.0); // plenty of compute
+        let out = pf.wait(&clock);
+        assert_eq!(out.len(), 1);
+        assert_eq!(clock.comm_secs(), 0.0, "fully hidden");
+        assert!(a.remote_bytes() > 0, "bytes still on the ledger");
+    }
+
+    #[test]
+    fn unhidden_remainder_is_charged() {
+        let a = array(16);
+        let cm = CostModel::polaris();
+        let sync_clock = SimClock::new();
+        a.fetch_rows(0, &[12, 13], &cm, &sync_clock);
+        let sync_secs = sync_clock.comm_secs();
+        assert!(sync_secs > 0.0);
+
+        let clock = SimClock::new();
+        let mut pf = Prefetcher::new(vec![a], 0, cm);
+        pf.issue(&[12, 13]);
+        pf.overlap(sync_secs / 2.0);
+        pf.wait(&clock);
+        let exposed = clock.comm_secs();
+        assert!(
+            exposed > 0.0 && exposed < sync_secs,
+            "half hidden: {exposed} vs {sync_secs}"
+        );
+    }
+
+    #[test]
+    fn wait_returns_tensors_in_array_order() {
+        let x = array(8);
+        let y = array(8);
+        let cm = CostModel::polaris();
+        let clock = SimClock::new();
+        let mut pf = Prefetcher::new(vec![x, y], 0, cm);
+        pf.issue(&[0, 1]);
+        let mut out = pf.wait(&clock);
+        assert_eq!(out.len(), 2);
+        let _y = out.pop().unwrap();
+        let _x = out.pop().unwrap();
+    }
+}

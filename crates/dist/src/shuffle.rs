@@ -1,0 +1,245 @@
+//! Communication-free epoch shuffling (§4.2, Table 5).
+//!
+//! Because every distributed-index-batching worker holds a full local copy,
+//! a *global* shuffle needs no communication: all ranks derive the same
+//! shared-seed permutation and each takes its stripe. The local variants
+//! (whole-partition and batch-order) cover Table 5's ablation and the
+//! generalized mode of §5.4, where a partition-bound worker may only
+//! reorder what it owns.
+//!
+//! All derivations are keyed on `(seed, epoch[, rank])` through SplitMix64
+//! Fisher–Yates, so any worker count reproduces the identical epoch order —
+//! the determinism claim behind the paper's accuracy-parity results.
+
+use std::ops::Range;
+
+/// Which epoch shuffle a distributed run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShuffleStrategy {
+    /// Shared-seed global permutation; each rank takes its stripe
+    /// (communication-free — the paper's default).
+    Global,
+    /// Each rank permutes its own contiguous partition.
+    Local,
+    /// Fixed batch contents, shuffled batch *order* within the partition
+    /// (the generalized mode's choice; Table 5 shows no accuracy cost).
+    LocalBatch,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mix_key(seed: u64, rank: u64, epoch: u64) -> u64 {
+    let mut s = seed ^ 0x5851_f42d_4c95_7f2d;
+    let a = splitmix64(&mut s);
+    let mut s2 = a ^ rank.wrapping_mul(0xa24b_aed4_963e_e407);
+    let b = splitmix64(&mut s2);
+    let mut s3 = b ^ epoch.wrapping_mul(0x9fb2_1c65_1e98_df25);
+    splitmix64(&mut s3)
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn seeded_perm(n: usize, key: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = key;
+    for i in (1..n).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Global shared-seed shuffle: permute `0..n` with a key derived from
+/// `(seed, epoch)` — identical on every rank — and return rank `rank`'s
+/// stripe of exactly `n / world` indices. (The `n % world` leftovers are
+/// dropped, as in a drop-last distributed sampler, so every rank runs the
+/// same number of optimizer steps.)
+pub fn global_stripe(n: usize, world: usize, rank: usize, seed: u64, epoch: u64) -> Vec<usize> {
+    assert!(
+        world > 0 && rank < world,
+        "rank {rank} outside world {world}"
+    );
+    let per = n / world;
+    let perm = seeded_perm(n, mix_key(seed, u64::MAX, epoch));
+    perm[rank * per..(rank + 1) * per].to_vec()
+}
+
+/// Permute `ids` with a key derived from `(seed, rank, epoch)`.
+pub fn local_shuffle(ids: &[usize], seed: u64, rank: usize, epoch: u64) -> Vec<usize> {
+    let order = seeded_perm(ids.len(), mix_key(seed, rank as u64, epoch));
+    order.into_iter().map(|i| ids[i]).collect()
+}
+
+/// Shuffled visit order over `num_batches` fixed batches, keyed on
+/// `(seed, rank, epoch)`.
+pub fn batch_order_shuffle(num_batches: usize, seed: u64, rank: usize, epoch: u64) -> Vec<usize> {
+    seeded_perm(num_batches, mix_key(seed, rank as u64, epoch))
+}
+
+/// Balanced contiguous partition of `0..n` over `world` ranks: the first
+/// `n % world` ranks own one extra element; partitions tile `0..n` exactly.
+pub fn contiguous_partition(n: usize, world: usize, rank: usize) -> Range<usize> {
+    assert!(
+        world > 0 && rank < world,
+        "rank {rank} outside world {world}"
+    );
+    let base = n / world;
+    let rem = n % world;
+    let start = rank * base + rank.min(rem);
+    let len = base + usize::from(rank < rem);
+    start..start + len
+}
+
+/// Size of the intersection of two index ranges.
+pub fn range_overlap(a: &Range<usize>, b: &Range<usize>) -> usize {
+    let lo = a.start.max(b.start);
+    let hi = a.end.min(b.end);
+    hi.saturating_sub(lo)
+}
+
+/// The per-step all-reduce count every rank must agree on when partitions
+/// are ragged: the maximum over ranks of `ceil(samples / batch)`. Ranks
+/// with fewer (or zero) local batches still enter every collective with a
+/// zero contribution, so no rank ever blocks on a missing peer.
+pub fn common_rounds(per_rank_samples: impl IntoIterator<Item = usize>, batch: usize) -> usize {
+    let batch = batch.max(1);
+    per_rank_samples
+        .into_iter()
+        .map(|samples| samples.div_ceil(batch))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Union of all ranks' index sets, asserting pairwise disjointness.
+    fn disjoint_union(sets: &[Vec<usize>]) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        for (rank, set) in sets.iter().enumerate() {
+            for &idx in set {
+                assert!(seen.insert(idx), "rank {rank} repeats index {idx}");
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn global_stripe_is_a_disjoint_exhaustive_permutation() {
+        // The paper's correctness claim for communication-free shuffling:
+        // across ranks, stripes are disjoint and cover the (drop-last)
+        // sample set — together they are a permutation.
+        for n in [12usize, 97, 256] {
+            for world in [1usize, 2, 3, 5, 8] {
+                let stripes: Vec<Vec<usize>> = (0..world)
+                    .map(|r| global_stripe(n, world, r, 42, 7))
+                    .collect();
+                let per = n / world;
+                for s in &stripes {
+                    assert_eq!(s.len(), per, "equal stripes at n={n} world={world}");
+                }
+                let union = disjoint_union(&stripes);
+                assert_eq!(union.len(), per * world);
+                assert!(union.iter().all(|&i| i < n));
+            }
+        }
+    }
+
+    #[test]
+    fn local_and_batch_shuffles_are_permutations() {
+        for world in [1usize, 3, 4] {
+            let n = 61;
+            let stripes: Vec<Vec<usize>> = (0..world)
+                .map(|r| {
+                    let ids: Vec<usize> = contiguous_partition(n, world, r).collect();
+                    local_shuffle(&ids, 9, r, 2)
+                })
+                .collect();
+            // Local shuffle permutes each partition in place: the union is
+            // exhaustive over ALL of 0..n (no drop-last).
+            assert_eq!(disjoint_union(&stripes).len(), n);
+
+            let order = batch_order_shuffle(17, 9, world, 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stripes_are_deterministic_for_fixed_seed_across_worker_counts() {
+        // The underlying permutation is keyed on (seed, epoch) only, so a
+        // rank's stripe is a prefix-slice of the SAME global order no
+        // matter the world size: world=2's rank-0 stripe is exactly the
+        // first half of world=1's full order.
+        let n = 120;
+        let full = global_stripe(n, 1, 0, 1234, 3);
+        for world in [2usize, 3, 4, 6] {
+            let per = n / world;
+            for rank in 0..world {
+                let stripe = global_stripe(n, world, rank, 1234, 3);
+                assert_eq!(
+                    stripe,
+                    full[rank * per..(rank + 1) * per].to_vec(),
+                    "world={world} rank={rank} must slice the shared order"
+                );
+            }
+        }
+        // And repeated derivation is bit-identical.
+        assert_eq!(global_stripe(n, 4, 2, 77, 5), global_stripe(n, 4, 2, 77, 5));
+        assert_eq!(
+            local_shuffle(&[5, 6, 7, 8], 77, 1, 5),
+            local_shuffle(&[5, 6, 7, 8], 77, 1, 5)
+        );
+        assert_eq!(
+            batch_order_shuffle(9, 77, 1, 5),
+            batch_order_shuffle(9, 77, 1, 5)
+        );
+    }
+
+    #[test]
+    fn different_epochs_reshuffle() {
+        let a = global_stripe(100, 2, 0, 42, 0);
+        let b = global_stripe(100, 2, 0, 42, 1);
+        assert_ne!(a, b, "epochs must not repeat the same order");
+    }
+
+    #[test]
+    fn partitions_tile_for_any_world() {
+        for n in [0usize, 1, 7, 100] {
+            for world in [1usize, 2, 3, 7, 16] {
+                let mut cursor = 0;
+                for rank in 0..world {
+                    let part = contiguous_partition(n, world, rank);
+                    assert_eq!(part.start, cursor);
+                    cursor = part.end;
+                }
+                assert_eq!(cursor, n);
+            }
+        }
+    }
+
+    #[test]
+    fn common_rounds_covers_the_largest_rank() {
+        assert_eq!(common_rounds([10usize, 7, 0], 4), 3);
+        assert_eq!(common_rounds([0usize, 0], 4), 0);
+        assert_eq!(common_rounds(std::iter::empty::<usize>(), 4), 0);
+        assert_eq!(common_rounds([5usize], 0), 5, "batch clamps to 1");
+    }
+
+    #[test]
+    fn range_overlap_basics() {
+        assert_eq!(range_overlap(&(0..10), &(5..20)), 5);
+        assert_eq!(range_overlap(&(0..3), &(7..9)), 0);
+        assert_eq!(range_overlap(&(2..8), &(0..100)), 6);
+    }
+}

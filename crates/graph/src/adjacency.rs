@@ -111,10 +111,7 @@ impl Adjacency {
             .zip(t.weights.iter())
             .map(|(a, b)| 0.5 * (a + b))
             .collect();
-        Adjacency {
-            n: self.n,
-            weights,
-        }
+        Adjacency { n: self.n, weights }
     }
 }
 

@@ -6,13 +6,13 @@
 //! Laplacian transition operators the ST-GNN model zoo consumes.
 
 pub mod adjacency;
-pub mod partition;
 pub mod csr;
 pub mod generators;
+pub mod partition;
 pub mod transition;
 
 pub use adjacency::Adjacency;
-pub use partition::{Partitioning, Subgraph};
 pub use csr::Csr;
 pub use generators::SensorNetwork;
+pub use partition::{Partitioning, Subgraph};
 pub use transition::{diffusion_supports, sym_norm_adjacency};

@@ -54,10 +54,7 @@ impl Partitioning {
         let mut assignment = vec![0usize; coords.len()];
         let mut ids: Vec<usize> = (0..coords.len()).collect();
         rcb(coords, &mut ids, k, 0, &mut assignment);
-        Partitioning {
-            assignment,
-            k,
-        }
+        Partitioning { assignment, k }
     }
 
     /// Seeded BFS region growing over the weighted edges: `k` seeds are
@@ -73,10 +70,8 @@ impl Partitioning {
         let cap = n.div_ceil(k);
         let mut assignment = vec![usize::MAX; n];
         let mut sizes = vec![0usize; k];
-        let mut frontiers: Vec<VecDeque<usize>> = seeds
-            .iter()
-            .map(|&s| VecDeque::from([s]))
-            .collect();
+        let mut frontiers: Vec<VecDeque<usize>> =
+            seeds.iter().map(|&s| VecDeque::from([s])).collect();
         for (p, &s) in seeds.iter().enumerate() {
             assignment[s] = p;
             sizes[p] = 1;
@@ -221,7 +216,9 @@ impl Partitioning {
 
     /// All `k` halo-augmented subgraphs.
     pub fn subgraphs(&self, adj: &Adjacency, halo_depth: usize) -> Vec<Subgraph> {
-        (0..self.k).map(|p| self.subgraph(adj, p, halo_depth)).collect()
+        (0..self.k)
+            .map(|p| self.subgraph(adj, p, halo_depth))
+            .collect()
     }
 
     /// Replication factor: `Σ_p |owned_p ∪ halo_p| / n` — how much node
@@ -407,7 +404,11 @@ mod tests {
         let n = net();
         let p = Partitioning::greedy_bfs(&n.adjacency, 4);
         assert_eq!(p.part_sizes().iter().sum::<usize>(), 40);
-        assert!(p.part_sizes().iter().all(|&s| s > 0), "{:?}", p.part_sizes());
+        assert!(
+            p.part_sizes().iter().all(|&s| s > 0),
+            "{:?}",
+            p.part_sizes()
+        );
         assert!(p.imbalance() <= 1.6, "imbalance {}", p.imbalance());
     }
 
@@ -477,13 +478,7 @@ mod tests {
 
 /// Recursive coordinate bisection helper: assign `ids` to `k` parts
 /// starting at part id `base`, splitting along the widest axis.
-fn rcb(
-    coords: &[(f32, f32)],
-    ids: &mut [usize],
-    k: usize,
-    base: usize,
-    assignment: &mut [usize],
-) {
+fn rcb(coords: &[(f32, f32)], ids: &mut [usize], k: usize, base: usize, assignment: &mut [usize]) {
     if k == 1 {
         for &i in ids.iter() {
             assignment[i] = base;
@@ -491,8 +486,12 @@ fn rcb(
         return;
     }
     // Widest axis of this subset.
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f32::INFINITY, f32::NEG_INFINITY, f32::INFINITY, f32::NEG_INFINITY);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    );
     for &i in ids.iter() {
         let (x, y) = coords[i];
         min_x = min_x.min(x);

@@ -94,10 +94,7 @@ mod tests {
 
     fn line_graph() -> Adjacency {
         // 0 -> 1 -> 2 with unit weights (directed).
-        Adjacency::from_dense(
-            3,
-            vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0],
-        )
+        Adjacency::from_dense(3, vec![0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
     }
 
     #[test]
@@ -123,7 +120,10 @@ mod tests {
         // I + 2 forward powers + 2 reverse powers.
         assert_eq!(s.len(), 5);
         // First support must be the identity.
-        assert_eq!(s[0].to_dense().to_vec(), Csr::identity(3).to_dense().to_vec());
+        assert_eq!(
+            s[0].to_dense().to_vec(),
+            Csr::identity(3).to_dense().to_vec()
+        );
     }
 
     #[test]

@@ -33,9 +33,15 @@ impl TgcnCell {
         let io = input_dim + hidden;
         TgcnCell {
             a_hat,
-            w_gates: Param::new(format!("{name}.wg"), random::xavier_uniform(io, 2 * hidden, rng)),
+            w_gates: Param::new(
+                format!("{name}.wg"),
+                random::xavier_uniform(io, 2 * hidden, rng),
+            ),
             b_gates: Param::new(format!("{name}.bg"), Tensor::full([2 * hidden], 1.0)),
-            w_cand: Param::new(format!("{name}.wc"), random::xavier_uniform(io, hidden, rng)),
+            w_cand: Param::new(
+                format!("{name}.wc"),
+                random::xavier_uniform(io, hidden, rng),
+            ),
             b_cand: Param::new(format!("{name}.bc"), Tensor::zeros([hidden])),
             input_dim,
             hidden,
@@ -110,7 +116,10 @@ impl A3tGcn {
         let mut rng = random::rng_from_seed(seed);
         let cell = TgcnCell::new("a3t.cell", a_hat, cfg.input_dim, cfg.hidden, &mut rng);
         A3tGcn {
-            att_w1: Param::new("a3t.att.w1", random::xavier_uniform(cfg.hidden, Self::ATT, &mut rng)),
+            att_w1: Param::new(
+                "a3t.att.w1",
+                random::xavier_uniform(cfg.hidden, Self::ATT, &mut rng),
+            ),
             att_b1: Param::new("a3t.att.b1", Tensor::zeros([Self::ATT])),
             att_w2: Param::new("a3t.att.w2", random::xavier_uniform(Self::ATT, 1, &mut rng)),
             head_w: Param::new(
@@ -204,7 +213,7 @@ impl Seq2Seq for A3tGcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_graph::{sym_norm_adjacency, generators::random_geometric};
+    use st_graph::{generators::random_geometric, sym_norm_adjacency};
 
     fn model(nodes: usize, horizon: usize) -> A3tGcn {
         let net = random_geometric(nodes, 30.0, 4);

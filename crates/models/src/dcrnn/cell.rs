@@ -85,9 +85,8 @@ impl DcGruCell {
 
     /// FLOPs of one step (three diffusion convolutions + gate arithmetic).
     pub fn flops(&self, batch: usize, n: usize) -> f64 {
-        let conv = self.gate_r.flops(batch, n)
-            + self.gate_u.flops(batch, n)
-            + self.cand.flops(batch, n);
+        let conv =
+            self.gate_r.flops(batch, n) + self.gate_u.flops(batch, n) + self.cand.flops(batch, n);
         let gates = 6.0 * (batch * n * self.hidden) as f64;
         conv + gates
     }

@@ -45,7 +45,10 @@ impl Dcrnn {
                 &mut rng,
             ));
         }
-        let proj_w = Param::new("proj.w", random::xavier_uniform(cfg.hidden, cfg.output_dim, &mut rng));
+        let proj_w = Param::new(
+            "proj.w",
+            random::xavier_uniform(cfg.hidden, cfg.output_dim, &mut rng),
+        );
         let proj_b = Param::new("proj.b", Tensor::zeros([cfg.output_dim]));
         Dcrnn {
             cfg,
@@ -90,11 +93,7 @@ impl Seq2Seq for Dcrnn {
             .collect();
         for step in 0..t {
             // x_t: [B, N, F]
-            let xt = tape.constant(
-                x.select(1, step)
-                    .expect("step in range")
-                    .contiguous(),
-            );
+            let xt = tape.constant(x.select(1, step).expect("step in range").contiguous());
             let mut inp = xt;
             for (l, cell) in self.encoder.iter().enumerate() {
                 let h = cell.step(tape, &inp, &hidden[l]);

@@ -216,7 +216,7 @@ mod tests {
         let cfg = MetricConfig::standardized(60.0, 10.0);
         let m = evaluate(&pred, &target, &cfg);
         assert!((m.mae - 5.0).abs() < 1e-5); // (10 + 0)/2 in original units
-        // MAPE uses original units: errors 10, 0 against target 70.
+                                             // MAPE uses original units: errors 10, 0 against target 70.
         assert!((m.mape - (10.0 / 70.0) / 2.0).abs() < 1e-6);
     }
 

@@ -116,8 +116,8 @@ impl Seq2Seq for PgtDcrnn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use st_autograd::optim::{Adam, Optimizer};
     use st_autograd::loss;
+    use st_autograd::optim::{Adam, Optimizer};
     use st_graph::{diffusion_supports, generators::highway_corridor};
 
     fn model(nodes: usize, horizon: usize) -> PgtDcrnn {

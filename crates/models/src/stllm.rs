@@ -42,9 +42,15 @@ impl Block {
             wo: Param::new(format!("{name}.wo"), random::xavier_uniform(dim, dim, rng)),
             ln1_g: Param::new(format!("{name}.ln1.g"), Tensor::ones([dim])),
             ln1_b: Param::new(format!("{name}.ln1.b"), Tensor::zeros([dim])),
-            ffn_w1: Param::new(format!("{name}.ffn.w1"), random::xavier_uniform(dim, ffn, rng)),
+            ffn_w1: Param::new(
+                format!("{name}.ffn.w1"),
+                random::xavier_uniform(dim, ffn, rng),
+            ),
             ffn_b1: Param::new(format!("{name}.ffn.b1"), Tensor::zeros([ffn])),
-            ffn_w2: Param::new(format!("{name}.ffn.w2"), random::xavier_uniform(ffn, dim, rng)),
+            ffn_w2: Param::new(
+                format!("{name}.ffn.w2"),
+                random::xavier_uniform(ffn, dim, rng),
+            ),
             ffn_b2: Param::new(format!("{name}.ffn.b2"), Tensor::zeros([dim])),
             ln2_g: Param::new(format!("{name}.ln2.g"), Tensor::ones([dim])),
             ln2_b: Param::new(format!("{name}.ln2.b"), Tensor::zeros([dim])),
@@ -55,11 +61,7 @@ impl Block {
 
     /// `x: [S, T, D]` where S = batch × nodes sequences of length T.
     fn forward(&self, tape: &Tape, x: &Var) -> Var {
-        let (s, t, d) = (
-            x.value().dim(0),
-            x.value().dim(1),
-            x.value().dim(2),
-        );
+        let (s, t, d) = (x.value().dim(0), x.value().dim(1), x.value().dim(2));
         let hd = d / self.heads;
 
         // ---- Multi-head self-attention (pre-norm). ----
@@ -155,7 +157,10 @@ impl StLlm {
             .map(|i| Block::new(&format!("stllm.b{i}"), d, Self::HEADS, &mut rng))
             .collect();
         StLlm {
-            token_w: Param::new("stllm.tok.w", random::xavier_uniform(cfg.input_dim, d, &mut rng)),
+            token_w: Param::new(
+                "stllm.tok.w",
+                random::xavier_uniform(cfg.input_dim, d, &mut rng),
+            ),
             token_b: Param::new("stllm.tok.b", Tensor::zeros([d])),
             node_emb: Param::new(
                 "stllm.node_emb",
@@ -165,7 +170,10 @@ impl StLlm {
                 "stllm.pos_emb",
                 random::normal([cfg.horizon, d], 0.0, 0.02, &mut rng),
             ),
-            head_w: Param::new("stllm.head.w", random::xavier_uniform(d, cfg.output_dim, &mut rng)),
+            head_w: Param::new(
+                "stllm.head.w",
+                random::xavier_uniform(d, cfg.output_dim, &mut rng),
+            ),
             head_b: Param::new("stllm.head.b", Tensor::zeros([cfg.output_dim])),
             blocks,
             cfg,
@@ -211,7 +219,7 @@ impl Seq2Seq for StLlm {
 
         // Add node embedding (per sequence) and position embedding (per step).
         let node = tape.param(&self.node_emb); // [N, D]
-        // Tile node embeddings to [B*N, 1, D] by index-select.
+                                               // Tile node embeddings to [B*N, 1, D] by index-select.
         let idx: Vec<usize> = (0..b).flat_map(|_| 0..n).collect();
         let node_rows = ops::index_select0(&node, &idx); // [B*N, D]
         let node_rows = ops::reshape(&node_rows, vec![b * n, 1, d]);

@@ -89,7 +89,14 @@ mod tests {
     #[test]
     fn push_and_render() {
         let mut rs = RecordSet::new();
-        rs.push("Table 2", "peak mem", "259.84 GB", "259.46 GiB", true, "virtual replay");
+        rs.push(
+            "Table 2",
+            "peak mem",
+            "259.84 GB",
+            "259.46 GiB",
+            true,
+            "virtual replay",
+        );
         rs.push("Fig 2", "PeMS OOM", "crash", "crash", true, "");
         assert_eq!(rs.records().len(), 2);
         assert_eq!(rs.holds(), 2);

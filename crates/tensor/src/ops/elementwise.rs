@@ -28,7 +28,11 @@ fn gather_broadcast(t: &Tensor, target: &Shape) -> Vec<f32> {
     let lead = rank - t.rank();
     let mut vstrides = vec![0usize; rank];
     for d in 0..t.rank() {
-        vstrides[lead + d] = if t.shape().dim(d) == 1 { 0 } else { t.strides()[d] };
+        vstrides[lead + d] = if t.shape().dim(d) == 1 {
+            0
+        } else {
+            t.strides()[d]
+        };
     }
     let data = t.storage().as_slice();
     let mut out = Vec::with_capacity(target.numel());

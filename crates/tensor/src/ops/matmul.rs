@@ -168,7 +168,7 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
         let at = a.t().unwrap(); // [3,2]
         let c = matmul(&at, &a).unwrap(); // [3,3]
-        // Verify one entry: row0 of at = (1,4); col0 of a = (1,4) => 1+16=17.
+                                          // Verify one entry: row0 of at = (1,4); col0 of a = (1,4) => 1+16=17.
         assert_eq!(c.at(&[0, 0]), 17.0);
         assert_eq!(c.dims(), &[3, 3]);
     }

@@ -97,7 +97,6 @@ impl Tensor {
         Tensor::from_vec(data, [n, n]).expect("eye shape")
     }
 
-
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -600,7 +599,10 @@ mod tests {
         let t = Tensor::arange(12).reshape([4, 3]).unwrap();
         let g = t.index_select0(&[3, 0, 3]).unwrap();
         assert_eq!(g.dims(), &[3, 3]);
-        assert_eq!(g.to_vec(), vec![9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 9.0, 10.0, 11.0]);
+        assert_eq!(
+            g.to_vec(),
+            vec![9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 9.0, 10.0, 11.0]
+        );
     }
 
     #[test]

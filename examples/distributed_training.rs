@@ -50,7 +50,10 @@ fn main() {
             ))
         });
 
-        println!("=== {world} worker(s), global batch {} ===", cfg.global_batch());
+        println!(
+            "=== {world} worker(s), global batch {} ===",
+            cfg.global_batch()
+        );
         println!(
             "  dist-index : val MAE {:.3} | sim compute {:>7.3}s | sim comm {:>7.3}s | {:>12} bytes moved",
             index.best_val_mae(),

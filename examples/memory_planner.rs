@@ -55,7 +55,10 @@ fn main() {
         ],
     );
     if args.len() == 4 {
-        let p: Vec<usize> = args.iter().map(|a| a.parse().expect("integer arg")).collect();
+        let p: Vec<usize> = args
+            .iter()
+            .map(|a| a.parse().expect("integer arg"))
+            .collect();
         table.row(&plan("custom", p[0], p[1], p[2], p[3]));
     } else {
         for spec in DatasetSpec::all() {

@@ -51,7 +51,6 @@ fn main() {
     //    with lead time, and the per-step report makes that visible (the
     //    15/30/60-minute rows of DCRNN-style evaluations).
     use pgt_i::autograd::Tape;
-    use pgt_i::core::trainer::BatchSource;
     use pgt_i::models::metrics::{report, MetricConfig};
     use pgt_i::models::Seq2Seq;
     let ids: Vec<usize> = run.source.splits().test.clone().take(64).collect();

@@ -1,0 +1,152 @@
+//! Offline shim for `criterion`: enough of the API for the `bench_*`
+//! targets to build and run as plain timing loops (`cargo bench`). There is
+//! no statistical analysis — each benchmark runs a fixed-duration loop and
+//! prints mean ns/iter.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    target: Duration,
+    last_report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            target,
+            last_report: None,
+        }
+    }
+
+    /// Run `f` repeatedly for roughly the target duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.target {
+                break;
+            }
+        }
+        self.last_report = Some((iters, start.elapsed()));
+    }
+
+    fn report(&self, label: &str) {
+        if let Some((iters, elapsed)) = self.last_report {
+            let per = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            println!("{label:<40} {per:>14.1} ns/iter ({iters} iters)");
+        }
+    }
+}
+
+fn run_one(label: &str, target: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(target);
+    f(&mut b);
+    b.report(label);
+}
+
+/// Group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    target: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target = t;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id), self.target, &mut f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.target,
+            &mut |b| f(b, input),
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness object.
+#[derive(Default)]
+pub struct Criterion {
+    target: Option<Duration>,
+}
+
+impl Criterion {
+    fn target(&self) -> Duration {
+        // Keep the default short: these shim benches are smoke-level timers.
+        self.target.unwrap_or(Duration::from_millis(200))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            target: self.target(),
+        }
+    }
+
+    pub fn bench_function(&mut self, name: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&name.to_string(), self.target(), &mut f);
+    }
+}
+
+/// `criterion_group!(name, bench_a, bench_b)` — a function running each
+/// benchmark with a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! Differences from real crossbeam: a panicking child thread propagates the
+//! panic out of `scope` (std semantics) instead of surfacing it through the
+//! returned `Result`, so callers' `.expect(..)` never observes `Err`. That is
+//! acceptable here — every call site treats a child panic as fatal.
+
+use std::thread;
+
+/// Scope handle passed to spawned closures (crossbeam passes the scope as
+/// the closure argument so nested spawns are possible).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowing spawns are allowed; joins all
+/// spawned threads before returning.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendors just the
+//! API surface the workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range`
+//! over half-open ranges, and `Rng::gen_bool`. The generator is SplitMix64 —
+//! statistically fine for synthetic data generation and fully deterministic,
+//! which is all the reproduction needs. It is NOT a drop-in replacement for
+//! the real `rand` stream (seeds produce different sequences).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self;
+    fn sample_range_inclusive(rng: &mut impl RngCore, range: RangeInclusive<Self>) -> Self;
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(rng, self)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_range_inclusive(rng, self)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+
+            fn sample_range_inclusive(rng: &mut impl RngCore, range: RangeInclusive<Self>) -> Self {
+                let (start, end) = range.into_inner();
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end - start) as u64 + 1;
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = (range.end as i64 - range.start as i64) as u64;
+                (range.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+
+            fn sample_range_inclusive(rng: &mut impl RngCore, range: RangeInclusive<Self>) -> Self {
+                let (start, end) = range.into_inner();
+                assert!(start <= end, "empty range in gen_range");
+                let span = (end as i64 - start as i64) as u64 + 1;
+                (start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_signed!(i64, i32, i16, i8);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                // Derive the unit in f32 space (24 mantissa bits) so it is
+                // strictly < 1.0 after any rounding, and clamp the affine
+                // map: `start + span * unit` itself can round up to `end`
+                // for narrow ranges.
+                let unit = (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32;
+                let v = range.start + (range.end - range.start) * unit as $t;
+                v.min(range.end.next_down())
+            }
+
+            fn sample_range_inclusive(rng: &mut impl RngCore, range: RangeInclusive<Self>) -> Self {
+                // Floats: treat inclusive as half-open (measure-zero difference).
+                let (start, end) = range.into_inner();
+                <$t>::sample_range(rng, start..end)
+            }
+        }
+    )*};
+}
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = range.start + (range.end - range.start) * unit;
+        v.min(range.end.next_down())
+    }
+
+    fn sample_range_inclusive(rng: &mut impl RngCore, range: RangeInclusive<Self>) -> Self {
+        let (start, end) = range.into_inner();
+        f64::sample_range(rng, start..end)
+    }
+}
+impl_sample_float!(f32);
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open or inclusive range.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-0.2f32..0.2);
+            assert!((-0.2..0.2).contains(&f));
+            let u = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "hits = {hits}");
+    }
+}

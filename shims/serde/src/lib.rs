@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing actually serializes through serde (binary I/O
+//! goes through the `bytes`-based formats in `st_data::io` and
+//! `st_autograd::checkpoint`). The derives here expand to nothing, and the
+//! traits exist so `T: Serialize` bounds would still compile if added.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait DeserializeTrait {}

@@ -1,0 +1,15 @@
+//! No-op derive macros standing in for `serde_derive`. The annotated types
+//! never pass through a serde serializer in this workspace, so expanding to
+//! nothing is sound — the attribute just needs to resolve.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,7 +26,10 @@ fn dist_index_is_deterministic_across_runs() {
     let a = run_distributed_index(&sig, &cfg, &factory);
     let b = run_distributed_index(&sig, &cfg, &factory);
     for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
-        assert_eq!(ea.train_loss, eb.train_loss, "replicated run must be identical");
+        assert_eq!(
+            ea.train_loss, eb.train_loss,
+            "replicated run must be identical"
+        );
         assert_eq!(ea.val_mae, eb.val_mae);
     }
 }

@@ -14,7 +14,10 @@ fn full_workflow_trains_and_converges() {
     let history = run.train(6, 8, 0.01);
     let first = history.epochs.first().unwrap().train_loss;
     let last = history.epochs.last().unwrap().train_loss;
-    assert!(last < first, "loss must decrease across the workflow: {first} -> {last}");
+    assert!(
+        last < first,
+        "loss must decrease across the workflow: {first} -> {last}"
+    );
     assert!(run.test_mae().is_finite());
 }
 

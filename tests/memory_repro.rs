@@ -86,18 +86,33 @@ fn fig6_and_table4_memory_points() {
     let mut tl = MemTimeline::new("idx");
     let idx = index_replay(&spec, &host, &mut tl, 8);
     assert!(idx.oom.is_none());
-    assert!((gib(idx.peak_host) - 45.84).abs() < 3.0, "{}", gib(idx.peak_host));
+    assert!(
+        (gib(idx.peak_host) - 45.84).abs() < 3.0,
+        "{}",
+        gib(idx.peak_host)
+    );
 
     let host = MemPool::new("host", 512 * GIB, PoolMode::Virtual);
     let dev = MemPool::new("gpu", 40 * GIB, PoolMode::Virtual);
     let mut tl = MemTimeline::new("gidx");
     let gidx = gpu_index_replay(&spec, &host, &dev, &mut tl, 8, GIB);
     assert!(gidx.oom.is_none());
-    assert!((gib(gidx.peak_host) - 18.20).abs() < 1.5, "{}", gib(gidx.peak_host));
-    assert!((gib(gidx.peak_device) - 18.60).abs() < 1.5, "{}", gib(gidx.peak_device));
+    assert!(
+        (gib(gidx.peak_host) - 18.20).abs() < 1.5,
+        "{}",
+        gib(gidx.peak_host)
+    );
+    assert!(
+        (gib(gidx.peak_device) - 18.60).abs() < 1.5,
+        "{}",
+        gib(gidx.peak_device)
+    );
     // §7 conclusion: 60.30% host-memory reduction from GPU-index-batching.
     let reduction = 1.0 - gidx.peak_host as f64 / idx.peak_host as f64;
-    assert!((reduction - 0.603).abs() < 0.05, "host reduction {reduction}");
+    assert!(
+        (reduction - 0.603).abs() < 0.05,
+        "host reduction {reduction}"
+    );
 }
 
 #[test]
