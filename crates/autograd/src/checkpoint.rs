@@ -417,7 +417,7 @@ mod tests {
             let mut opt = Adam::new(vec![p.clone()], 0.1);
             let mut start = 0;
             if let Some(ck) = resume_from {
-                start = ck.restore(&[p.clone()], &mut opt).unwrap();
+                start = ck.restore(std::slice::from_ref(&p), &mut opt).unwrap();
             }
             for _ in start..5 {
                 // d/dw (w²/2) = w

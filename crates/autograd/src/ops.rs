@@ -49,7 +49,7 @@ pub fn add(a: &Var, b: &Var) -> Var {
 /// `a - b` (broadcasting).
 pub fn sub(a: &Var, b: &Var) -> Var {
     let v = t::sub(a.value(), b.value()).expect("sub shapes broadcast");
-    binary(a, b, v, Tensor::clone, |g| t::neg(g))
+    binary(a, b, v, Tensor::clone, t::neg)
 }
 
 /// `a * b` (broadcasting).
@@ -180,7 +180,7 @@ pub fn relu(v: &Var) -> Var {
 pub fn gelu(v: &Var) -> Var {
     let x = v.value().clone();
     v.tape().custom_op(&[v], t::gelu(v.value()), move |g| {
-        const C: f32 = 0.7978845608;
+        const C: f32 = 0.797_884_6;
         let dy = t::map(&x, |e| {
             let inner = C * (e + 0.044715 * e * e * e);
             let th = inner.tanh();

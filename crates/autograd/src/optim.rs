@@ -278,7 +278,7 @@ mod tests {
     fn clip_reduces_norm() {
         let p = Param::new("w", Tensor::from_slice(&[0.0, 0.0]));
         p.set_grad(Some(Tensor::from_slice(&[3.0, 4.0]))); // norm 5
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         let g = p.grad().unwrap().to_vec();
         let post = (g[0] * g[0] + g[1] * g[1]).sqrt();

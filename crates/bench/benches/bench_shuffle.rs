@@ -54,12 +54,14 @@ fn bench_data_plane(c: &mut Criterion) {
         let a = array();
         let clock = st_device::SimClock::new();
         b.iter(|| {
-            let mut pf = Prefetcher::new(vec![a.clone()], 0, cm.clone());
-            pf.issue(&batches[0]);
+            let mut pf = Prefetcher::new();
+            let (t, secs) = a.fetch_rows_quoted(0, &batches[0], &cm);
+            pf.issue(t, secs);
             for (i, _) in batches.iter().enumerate() {
                 let data = pf.wait(&clock);
                 if let Some(next) = batches.get(i + 1) {
-                    pf.issue(next);
+                    let (t, secs) = a.fetch_rows_quoted(0, next, &cm);
+                    pf.issue(t, secs);
                 }
                 pf.overlap(1e-4);
                 criterion::black_box(data);

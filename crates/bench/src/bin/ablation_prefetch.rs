@@ -1,12 +1,16 @@
 //! Ablation: prefetching + data-distribution policies (paper §7).
 //!
-//! Quantifies the two §7 data-plane proposals on the baseline-DDP runner:
-//! 1. **Prefetching** — double-buffered batch fetches overlap the data
-//!    plane with compute; reported as exposed-communication seconds.
-//! 2. **Ownership policy** — contiguous vs strided row ownership changes
+//! Quantifies the §7 data-plane proposals on the engine's remote planes:
+//! 1. **Prefetching (baseline DDP)** — double-buffered batch fetches
+//!    overlap the data plane with compute; reported as exposed-
+//!    communication seconds.
+//! 2. **Prefetching (generalized mode)** — the setup halo read is issued
+//!    asynchronously and hidden behind early compute.
+//! 3. **Ownership policy** — contiguous vs strided row ownership changes
 //!    how many owners a contiguous read touches (requests per fetch).
 
 use pgt_index::baseline_ddp::run_baseline_ddp;
+use pgt_index::gen_dist_index::run_generalized;
 use pgt_index::DistConfig;
 use st_data::datasets::{DatasetKind, DatasetSpec};
 use st_data::synthetic;
@@ -56,9 +60,43 @@ fn main() {
                 "synchronous"
             }
             .to_string(),
-            format!("{:.4}", r.sim_comm_secs),
-            format!("{:.4}", r.sim_compute_secs),
-            format!("{:.4}", r.sim_total_secs),
+            format!("{:.6}", r.sim_comm_secs),
+            format!("{:.6}", r.sim_compute_secs),
+            format!("{:.6}", r.sim_total_secs),
+            r.data_plane_bytes.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+
+    // --- prefetch on/off on the generalized (halo-partition) runner ---
+    let mut table = Table::new(
+        "Ablation §7a': generalized mode with and without halo-read prefetching",
+        &[
+            "variant",
+            "comm s",
+            "compute s",
+            "total s",
+            "data-plane bytes",
+        ],
+    );
+    let mut gcfg = DistConfig::new(2, if st_bench::smoke() { 1 } else { 2 }, spec.horizon);
+    gcfg.batch_per_worker = 4;
+    gcfg.time_period = Some(spec.period);
+    for prefetch in [false, true] {
+        gcfg.prefetch = prefetch;
+        let r = run_generalized(&sig, &gcfg, |ds| {
+            Box::new(factory(ds.num_features())) as Box<dyn Seq2Seq>
+        });
+        table.row(&[
+            if prefetch {
+                "prefetched"
+            } else {
+                "synchronous"
+            }
+            .to_string(),
+            format!("{:.6}", r.sim_comm_secs),
+            format!("{:.6}", r.sim_compute_secs),
+            format!("{:.6}", r.sim_total_secs),
             r.data_plane_bytes.to_string(),
         ]);
     }

@@ -25,11 +25,7 @@ fn run(kind: DatasetKind, variant: LoaderVariant) -> (Series, Option<f64>, f64) 
         },
         spec.name
     );
-    let pts = tl
-        .rows_gib()
-        .into_iter()
-        .map(|(p, g)| (p, g))
-        .collect::<Vec<_>>();
+    let pts = tl.rows_gib().into_iter().collect::<Vec<_>>();
     (Series::new(label, pts), tl.oom_at(), gib(report.peak_bytes))
 }
 

@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn scales_are_sane() {
-        assert!(MEASURE_SCALE > 0.0 && MEASURE_SCALE < 0.2);
-        assert!(DIST_SCALE <= MEASURE_SCALE);
+        const { assert!(MEASURE_SCALE > 0.0 && MEASURE_SCALE < 0.2) };
+        const { assert!(DIST_SCALE <= MEASURE_SCALE) };
     }
 }

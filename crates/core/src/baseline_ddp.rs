@@ -6,51 +6,83 @@
 //! (one communication per batch rather than per sample). Global shuffling
 //! means most of a worker's samples live on other ranks, so the data plane
 //! dominates at scale: that traffic is the lighter bar segment of Fig. 7.
+//!
+//! The epoch loop lives in [`crate::engine`]; this module contributes only
+//! the data plane — [`DataSvcPlane`], a worker view over the Dask-style
+//! [`DistributedArray`] pair whose every fetch is quoted against the
+//! remote-traffic ledger.
 
+use crate::engine::{self, DistDataPlane, EngineOptions, Fetch};
 use crate::trainer::BatchSource;
-use st_autograd::loss;
-use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
-use st_autograd::Tape;
 use st_data::preprocess::materialized_xy;
 use st_data::scaler::StandardScaler;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::{SplitIndices, SplitRatios};
 use st_dist::datasvc::DistributedArray;
-use st_dist::ddp::DdpContext;
-use st_dist::launch::run_workers;
-use st_dist::prefetch::Prefetcher;
-use st_dist::shuffle;
 use st_models::Seq2Seq;
 use st_tensor::Tensor;
 
-use crate::dist_index::{DistConfig, DistEpochStats, DistRunResult};
+use crate::dist_index::{DistConfig, DistRunResult};
 use std::sync::Arc;
 
-/// A worker-side view of the Dask-distributed `(x, y)` arrays.
-pub struct DistributedXy {
+/// The §5 data plane: a worker-side view of the Dask-distributed `(x, y)`
+/// arrays, fetching every batch on demand across ranks.
+pub struct DataSvcPlane {
     x: Arc<DistributedArray>,
     y: Arc<DistributedArray>,
     scaler: StandardScaler,
     splits: SplitIndices,
+    world: usize,
     rank: usize,
+    batch: usize,
+    seed: u64,
     cost: st_device::CostModel,
-    clock: st_device::SimClock,
 }
 
-impl DistributedXy {
-    /// Fetch an x/y batch, charging communication for remote rows.
-    pub fn fetch(&self, indices: &[usize]) -> (Tensor, Tensor) {
-        let x = self
-            .x
-            .fetch_rows(self.rank, indices, &self.cost, &self.clock);
-        let y = self
-            .y
-            .fetch_rows(self.rank, indices, &self.cost, &self.clock);
-        (x, y)
+/// The pre-engine name for [`DataSvcPlane`], kept for downstream callers.
+pub type DistributedXy = DataSvcPlane;
+
+impl DataSvcPlane {
+    /// Rank `rank`'s view over the shared arrays.
+    pub fn new(
+        x: Arc<DistributedArray>,
+        y: Arc<DistributedArray>,
+        scaler: StandardScaler,
+        splits: SplitIndices,
+        cfg: &DistConfig,
+        rank: usize,
+        cost: st_device::CostModel,
+    ) -> Self {
+        DataSvcPlane {
+            x,
+            y,
+            scaler,
+            splits,
+            world: cfg.world,
+            rank,
+            batch: cfg.batch_per_worker,
+            seed: cfg.seed,
+            cost,
+        }
+    }
+
+    /// Fetch an x/y batch, quoting communication for remote rows (bytes
+    /// land on the shared ledger immediately).
+    pub fn fetch(&self, indices: &[usize]) -> (Tensor, Tensor, f64) {
+        let (x, sx) = self.x.fetch_rows_quoted(self.rank, indices, &self.cost);
+        let (y, sy) = self.y.fetch_rows_quoted(self.rank, indices, &self.cost);
+        (x, y, sx + sy)
     }
 }
 
-impl BatchSource for DistributedXy {
+/// [`BatchSource`] lets model factories inspect dims/splits and drive
+/// ad-hoc evaluation. **Timing caveat:** `get_batch` records remote bytes
+/// on the shared ledger but discards the quoted transfer seconds — the
+/// plane no longer holds a clock; inside the engine, fetch time is
+/// charged (or prefetch-hidden) by the epoch loop. Callers that need
+/// simulated fetch *time* outside the engine must use
+/// [`DataSvcPlane::fetch`] and charge the returned seconds themselves.
+impl BatchSource for DataSvcPlane {
     fn num_snapshots(&self) -> usize {
         self.x.rows()
     }
@@ -60,11 +92,53 @@ impl BatchSource for DistributedXy {
     }
 
     fn get_batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
-        self.fetch(indices)
+        let (x, y, _) = self.fetch(indices);
+        (x, y)
     }
 
     fn scaler(&self) -> &StandardScaler {
         &self.scaler
+    }
+}
+
+impl DistDataPlane for DataSvcPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        engine::striped_rounds(self.splits.train.len(), self.world, self.batch)
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        // Baseline DDP also shuffles globally (§5) — but unlike
+        // dist-index, its samples live on other ranks, so every fetch of
+        // this plan pays communication.
+        engine::striped_plan(
+            self.splits.train.clone(),
+            self.world,
+            self.rank,
+            self.seed,
+            epoch,
+            self.batch,
+        )
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        engine::striped_val_plan(self.splits.val.clone(), self.world, self.rank, self.batch)
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+        let (x, y, secs) = self.fetch(ids);
+        Fetch { x, y, secs }
+    }
+
+    fn remote(&self) -> bool {
+        true
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.scaler.std
+    }
+
+    fn ledger_bytes(&self) -> u64 {
+        self.x.remote_bytes() + self.y.remote_bytes()
     }
 }
 
@@ -79,9 +153,8 @@ pub fn run_baseline_ddp<F>(
     model_factory: F,
 ) -> DistRunResult
 where
-    F: Fn(&DistributedXy) -> Box<dyn Seq2Seq> + Sync,
+    F: Fn(&DataSvcPlane) -> Box<dyn Seq2Seq> + Sync,
 {
-    let start = std::time::Instant::now();
     // Materialize once (the paper's baseline preprocesses distributedly;
     // here the shared-process equivalent is a single materialization whose
     // partitions are owned per rank by the data service).
@@ -100,141 +173,23 @@ where
     let x = DistributedArray::new(out.x, cfg.world, cfg.topology, elem);
     let y = DistributedArray::new(out.y, cfg.world, cfg.topology, elem);
 
-    let results = run_workers(cfg.world, cfg.topology, |mut ctx| {
-        let view = DistributedXy {
-            x: x.clone(),
-            y: y.clone(),
-            scaler,
-            splits: splits.clone(),
-            rank: ctx.rank(),
-            cost: ctx.comm.hub().cost_model().clone(),
-            clock: ctx.clock.clone(),
-        };
-        let model = model_factory(&view);
-        let mut ddp = DdpContext::new(model.params());
-        ddp.broadcast_parameters(&mut ctx.comm);
-        let mut opt = Adam::new(model.params(), cfg.effective_lr());
-        let cm = ctx.comm.hub().cost_model().clone();
-        let gpu_flops = cm.gpu_flops;
-
-        let train = view.splits.train.clone();
-        let val = view.splits.val.clone();
-        let mut epoch_stats = Vec::with_capacity(cfg.epochs);
-        for epoch in 0..cfg.epochs {
-            // Baseline DDP also shuffles globally (§5) — but unlike
-            // dist-index, its samples live on other ranks, so every batch
-            // fetch below pays communication.
-            let my_ids: Vec<usize> =
-                shuffle::global_stripe(train.len(), cfg.world, ctx.rank(), cfg.seed, epoch as u64)
-                    .into_iter()
-                    .map(|i| train.start + i)
-                    .collect();
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            let chunks: Vec<&[usize]> = my_ids.chunks(cfg.batch_per_worker).collect();
-            // §7 prefetching: double-buffer the (x, y) fetches so the data
-            // plane overlaps with compute instead of serializing with it.
-            let mut pf = cfg.prefetch.then(|| {
-                let mut p = Prefetcher::new(vec![x.clone(), y.clone()], ctx.rank(), cm.clone());
-                if let Some(first) = chunks.first() {
-                    p.issue(first);
-                }
-                p
-            });
-            for (i, chunk) in chunks.iter().enumerate() {
-                let (xb, yb) = match pf.as_mut() {
-                    Some(p) => {
-                        let mut t = p.wait(&ctx.clock);
-                        if let Some(next) = chunks.get(i + 1) {
-                            p.issue(next);
-                        }
-                        let yb = t.pop().expect("y tensor");
-                        let xb = t.pop().expect("x tensor");
-                        (xb, yb)
-                    }
-                    None => view.fetch(chunk),
-                };
-                let target = yb.narrow(3, 0, 1).expect("feature 0").contiguous();
-                opt.zero_grad();
-                let tape = Tape::new();
-                let pred = model.forward(&tape, &xb);
-                let tgt = tape.constant(target);
-                let l = loss::mae(&pred, &tgt);
-                loss_sum += l.value().item() as f64;
-                batches += 1;
-                let grads = tape.backward(&l);
-                tape.accumulate_param_grads(&grads);
-                let compute_secs = 3.0 * model.flops_per_forward(chunk.len()) / gpu_flops;
-                ctx.clock.advance_compute(compute_secs);
-                if let Some(p) = pf.as_mut() {
-                    p.overlap(compute_secs);
-                }
-                ddp.average_gradients(&mut ctx.comm);
-                if let Some(clip) = cfg.grad_clip {
-                    clip_grad_norm(&model.params(), clip);
-                }
-                opt.step();
-            }
-            let sums = ctx
-                .comm
-                .all_gather_scalar((loss_sum / batches.max(1) as f64) as f32);
-            let train_loss = sums.iter().sum::<f32>() / sums.len() as f32;
-
-            let my_val = shuffle::contiguous_partition(val.len(), cfg.world, ctx.rank());
-            let mut abs_sum = 0.0f64;
-            let mut count = 0usize;
-            for chunk in my_val
-                .map(|i| val.start + i)
-                .collect::<Vec<_>>()
-                .chunks(cfg.batch_per_worker.max(1))
-            {
-                if chunk.is_empty() {
-                    continue;
-                }
-                let (xb, yb) = view.fetch(chunk);
-                let target = yb.narrow(3, 0, 1).expect("feature 0").contiguous();
-                let tape = Tape::new();
-                let pred = model.forward(&tape, &xb);
-                ctx.clock
-                    .advance_compute(model.flops_per_forward(chunk.len()) / gpu_flops);
-                let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-                abs_sum += st_tensor::ops::abs(&diff)
-                    .to_vec()
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum::<f64>();
-                count += target.numel();
-            }
-            let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
-            let counts = ctx.comm.all_gather_scalar(count as f32);
-            let val_mae =
-                totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * view.scaler.std;
-            epoch_stats.push(DistEpochStats {
-                epoch,
-                train_loss,
-                val_mae,
-            });
-        }
-        (
-            epoch_stats,
-            ctx.clock.compute_secs(),
-            ctx.clock.comm_secs(),
-            ctx.clock.now(),
-            ctx.comm.hub().bytes_moved(),
-        )
-    });
-
-    let data_bytes = x.remote_bytes() + y.remote_bytes();
-    let (epochs, compute, comm, total, grad_bytes) = results.into_iter().next().expect("rank 0");
-    DistRunResult {
-        epochs,
-        sim_compute_secs: compute,
-        sim_comm_secs: comm,
-        sim_total_secs: total,
-        bytes_moved: grad_bytes + data_bytes,
-        data_plane_bytes: data_bytes,
-        wall_secs: start.elapsed().as_secs_f64(),
-    }
+    engine::run(
+        cfg,
+        &EngineOptions::default(),
+        |rank, cm| {
+            DataSvcPlane::new(
+                x.clone(),
+                y.clone(),
+                scaler,
+                splits.clone(),
+                cfg,
+                rank,
+                cm.clone(),
+            )
+        },
+        |plane: &DataSvcPlane| model_factory(plane),
+    )
+    .into_dist_result()
 }
 
 #[cfg(test)]

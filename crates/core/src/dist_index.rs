@@ -7,15 +7,11 @@
 //! DDP gradient all-reduce (plus tiny metric reductions), which is exactly
 //! the property that separates the right panel of Fig. 7 from the left.
 
+use crate::engine::{self, DistDataPlane, EngineOptions, Fetch};
 use crate::index_batching::IndexDataset;
 use crate::trainer::BatchSource;
-use st_autograd::loss;
-use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
-use st_autograd::Tape;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
-use st_dist::ddp::DdpContext;
-use st_dist::launch::run_workers;
 use st_dist::shuffle::{self, ShuffleStrategy};
 use st_dist::topology::ClusterTopology;
 use st_models::Seq2Seq;
@@ -48,8 +44,10 @@ pub struct DistConfig {
     /// Optional time-of-day feature period.
     pub time_period: Option<usize>,
     /// Double-buffer data-plane fetches so they overlap with compute
-    /// (§7 future work; only affects runners with a remote data plane,
-    /// i.e. baseline DDP — dist-index has no data plane to hide).
+    /// (§7 future work). Applies to **every** remote data plane the
+    /// engine drives: the baseline's per-batch data-service fetches and
+    /// the generalized mode's one-time halo read alike. A no-op for
+    /// local planes (dist-index has no data plane to hide).
     pub prefetch: bool,
 }
 
@@ -130,6 +128,99 @@ impl DistRunResult {
     }
 }
 
+/// The §4.2 data plane: every worker holds a **full local copy** of the
+/// index-batched dataset, so epoch plans come from communication-free
+/// shared-seed shuffles and fetches are free local views.
+pub struct LocalCopyPlane {
+    ds: IndexDataset,
+    world: usize,
+    rank: usize,
+    batch: usize,
+    seed: u64,
+    shuffle: ShuffleStrategy,
+}
+
+impl LocalCopyPlane {
+    /// Build rank `rank`'s plane: its own full local copy (§4.2 — cheap
+    /// only because of eq. (2)).
+    pub fn new(signal: &StaticGraphTemporalSignal, cfg: &DistConfig, rank: usize) -> Self {
+        let ds =
+            IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
+        LocalCopyPlane {
+            ds,
+            world: cfg.world,
+            rank,
+            batch: cfg.batch_per_worker,
+            seed: cfg.seed,
+            shuffle: cfg.shuffle,
+        }
+    }
+
+    /// The worker's local dataset copy (model factories derive dims from
+    /// it).
+    pub fn dataset(&self) -> &IndexDataset {
+        &self.ds
+    }
+}
+
+impl DistDataPlane for LocalCopyPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        // Ragged stripes/partitions give ranks batch counts that differ
+        // by one; every strategy stripes `contiguous_partition` lengths
+        // over the (possibly permuted) train split.
+        engine::striped_rounds(self.ds.splits().train.len(), self.world, self.batch)
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let train = self.ds.splits().train.clone();
+        // Communication-free shuffling: shared-seed stripe or local
+        // permutations, identical on every rank's derivation.
+        let my_ids: Vec<usize> = match self.shuffle {
+            ShuffleStrategy::Global => {
+                return engine::striped_plan(
+                    train, self.world, self.rank, self.seed, epoch, self.batch,
+                );
+            }
+            ShuffleStrategy::Local => {
+                let part = shuffle::contiguous_partition(train.len(), self.world, self.rank);
+                let ids: Vec<usize> = part.map(|i| train.start + i).collect();
+                shuffle::local_shuffle(&ids, self.seed, self.rank, epoch)
+            }
+            ShuffleStrategy::LocalBatch => {
+                let part = shuffle::contiguous_partition(train.len(), self.world, self.rank);
+                let ids: Vec<usize> = part.map(|i| train.start + i).collect();
+                let nb = ids.len().div_ceil(self.batch);
+                let order = shuffle::batch_order_shuffle(nb, self.seed, self.rank, epoch);
+                order
+                    .into_iter()
+                    .flat_map(|b| {
+                        ids[b * self.batch..((b + 1) * self.batch).min(ids.len())].to_vec()
+                    })
+                    .collect()
+            }
+        };
+        engine::chunk_ids(my_ids, self.batch)
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        engine::striped_val_plan(
+            self.ds.splits().val.clone(),
+            self.world,
+            self.rank,
+            self.batch,
+        )
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+        let (x, y) = self.ds.get_batch(ids);
+        Fetch { x, y, secs: 0.0 }
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.ds.scaler().std
+    }
+}
+
 /// Run distributed-index-batching training.
 ///
 /// `model_factory` builds one replica per worker; replicas start identical
@@ -143,157 +234,13 @@ pub fn run_distributed_index<F>(
 where
     F: Fn(&IndexDataset) -> Box<dyn Seq2Seq> + Sync,
 {
-    let start = std::time::Instant::now();
-    let results = run_workers(cfg.world, cfg.topology, |mut ctx| {
-        // §4.2: every worker builds its own full local copy.
-        let ds =
-            IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
-        let model = model_factory(&ds);
-        let mut ddp = DdpContext::new(model.params());
-        ddp.broadcast_parameters(&mut ctx.comm);
-        let mut opt = Adam::new(model.params(), cfg.effective_lr());
-
-        let train = ds.splits().train.clone();
-        let val = ds.splits().val.clone();
-        let mut epoch_stats = Vec::with_capacity(cfg.epochs);
-        let cm = ctx.comm.hub().cost_model().clone();
-        let gpu_flops = cm.gpu_flops;
-        // Ragged partitions (Local/LocalBatch) give ranks unequal batch
-        // counts; all ranks agree on a common round count analytically so
-        // per-step all-reduces never mismatch (see `shuffle::common_rounds`).
-        let rounds = shuffle::common_rounds(
-            (0..cfg.world).map(|r| match cfg.shuffle {
-                ShuffleStrategy::Global => train.len() / cfg.world,
-                _ => shuffle::contiguous_partition(train.len(), cfg.world, r).len(),
-            }),
-            cfg.batch_per_worker,
-        );
-        for epoch in 0..cfg.epochs {
-            // Communication-free shuffling: shared-seed stripe.
-            let my_ids: Vec<usize> = match cfg.shuffle {
-                ShuffleStrategy::Global => shuffle::global_stripe(
-                    train.len(),
-                    cfg.world,
-                    ctx.rank(),
-                    cfg.seed,
-                    epoch as u64,
-                )
-                .into_iter()
-                .map(|i| train.start + i)
-                .collect(),
-                ShuffleStrategy::Local => {
-                    let part = shuffle::contiguous_partition(train.len(), cfg.world, ctx.rank());
-                    let ids: Vec<usize> = part.map(|i| train.start + i).collect();
-                    shuffle::local_shuffle(&ids, cfg.seed, ctx.rank(), epoch as u64)
-                }
-                ShuffleStrategy::LocalBatch => {
-                    let part = shuffle::contiguous_partition(train.len(), cfg.world, ctx.rank());
-                    let ids: Vec<usize> = part.map(|i| train.start + i).collect();
-                    let nb = ids.len().div_ceil(cfg.batch_per_worker);
-                    let order =
-                        shuffle::batch_order_shuffle(nb, cfg.seed, ctx.rank(), epoch as u64);
-                    order
-                        .into_iter()
-                        .flat_map(|b| {
-                            ids[b * cfg.batch_per_worker
-                                ..((b + 1) * cfg.batch_per_worker).min(ids.len())]
-                                .to_vec()
-                        })
-                        .collect()
-                }
-            };
-
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            let chunks: Vec<&[usize]> = my_ids.chunks(cfg.batch_per_worker).collect();
-            for round in 0..rounds {
-                opt.zero_grad();
-                if let Some(chunk) = chunks.get(round) {
-                    let (x, y) = ds.get_batch(chunk);
-                    let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-                    let tape = Tape::new();
-                    let pred = model.forward(&tape, &x);
-                    let tgt = tape.constant(target);
-                    let l = loss::mae(&pred, &tgt);
-                    loss_sum += l.value().item() as f64;
-                    batches += 1;
-                    let grads = tape.backward(&l);
-                    tape.accumulate_param_grads(&grads);
-                    // Charge modeled step compute (fwd + bwd ≈ 3× fwd).
-                    ctx.clock
-                        .advance_compute(3.0 * model.flops_per_forward(chunk.len()) / gpu_flops);
-                }
-                // Exhausted ranks contribute zeros but still meet the
-                // collective and apply the identical averaged step.
-                ddp.average_gradients(&mut ctx.comm);
-                if let Some(clip) = cfg.grad_clip {
-                    clip_grad_norm(&model.params(), clip);
-                }
-                opt.step();
-            }
-
-            // Mean training loss across ranks.
-            let sums = ctx
-                .comm
-                .all_gather_scalar((loss_sum / batches.max(1) as f64) as f32);
-            let train_loss = sums.iter().sum::<f32>() / sums.len() as f32;
-
-            // Validation: each rank evaluates its contiguous slice.
-            let my_val = shuffle::contiguous_partition(val.len(), cfg.world, ctx.rank());
-            let mut abs_sum = 0.0f64;
-            let mut count = 0usize;
-            for chunk in my_val
-                .map(|i| val.start + i)
-                .collect::<Vec<_>>()
-                .chunks(cfg.batch_per_worker.max(1))
-            {
-                if chunk.is_empty() {
-                    continue;
-                }
-                let (x, y) = ds.get_batch(chunk);
-                let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-                let tape = Tape::new();
-                let pred = model.forward(&tape, &x);
-                ctx.clock
-                    .advance_compute(model.flops_per_forward(chunk.len()) / gpu_flops);
-                let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-                abs_sum += st_tensor::ops::abs(&diff)
-                    .to_vec()
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum::<f64>();
-                count += target.numel();
-            }
-            let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
-            let counts = ctx.comm.all_gather_scalar(count as f32);
-            let val_mae =
-                totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * ds.scaler().std;
-
-            epoch_stats.push(DistEpochStats {
-                epoch,
-                train_loss,
-                val_mae,
-            });
-        }
-        (
-            epoch_stats,
-            ctx.clock.compute_secs(),
-            ctx.clock.comm_secs(),
-            ctx.clock.now(),
-            ctx.comm.hub().bytes_moved(),
-        )
-    });
-
-    let (epochs, compute, comm, total, bytes) = results.into_iter().next().expect("rank 0");
-    DistRunResult {
-        epochs,
-        sim_compute_secs: compute,
-        sim_comm_secs: comm,
-        sim_total_secs: total,
-        bytes_moved: bytes,
-        data_plane_bytes: 0, // full local copies: gradient traffic only
-        wall_secs: start.elapsed().as_secs_f64(),
-    }
+    engine::run(
+        cfg,
+        &EngineOptions::default(),
+        |rank, _cm| LocalCopyPlane::new(signal, cfg, rank),
+        |plane: &LocalCopyPlane| model_factory(plane.dataset()),
+    )
+    .into_dist_result()
 }
 
 #[cfg(test)]

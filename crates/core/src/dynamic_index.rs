@@ -113,11 +113,17 @@ impl DynamicIndexDataset {
             .expect("label window in range")
             .unsqueeze(0)
             .expect("add batch dim");
-        let sup: Vec<&[Support]> = self.supports[i..i + self.horizon]
+        (x, y, self.supports_for(i))
+    }
+
+    /// The borrowed per-step support sets of window `i` alone (no feature
+    /// views) — one slice per step, each shared by every window touching
+    /// the entry.
+    pub fn supports_for(&self, i: usize) -> Vec<&[Support]> {
+        self.supports[i..i + self.horizon]
             .iter()
             .map(|s| s.as_slice())
-            .collect();
-        (x, y, sup)
+            .collect()
     }
 
     /// Resident bytes of the index layout (features f32 + support CSRs +
@@ -194,87 +200,129 @@ pub struct DynamicEpochStats {
     pub val_mae: f32,
 }
 
-/// Train a PGT-DCRNN over a dynamic signal with index-batching.
-///
-/// Windows are visited one at a time (each window carries its own support
-/// sequence, so samples with different topology cannot share a fused
-/// batch — the same constraint PGT's dynamic-signal iterators have).
+/// The §7 dynamic-graph data plane: zero-copy feature windows plus
+/// per-entry diffusion supports, visited one window at a time (each window
+/// carries its own support sequence, so samples with different topology
+/// cannot share a fused batch — the same constraint PGT's dynamic-signal
+/// iterators have). Single-worker and model-independent
+/// (`sync_gradients = false`), with the forward routed through
+/// [`st_models::Seq2Seq::forward_dynamic`] so per-step operators come from
+/// the dataset at runtime.
+pub struct DynamicPlane {
+    ds: DynamicIndexDataset,
+    seed: u64,
+}
+
+impl DynamicPlane {
+    /// Wrap a dynamic dataset.
+    pub fn new(ds: DynamicIndexDataset, seed: u64) -> Self {
+        DynamicPlane { ds, seed }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &DynamicIndexDataset {
+        &self.ds
+    }
+}
+
+impl crate::engine::DistDataPlane for DynamicPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        self.ds.splits().train.len()
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let train = self.ds.splits().train.clone();
+        st_tensor::random::permutation(train.len(), self.seed, epoch)
+            .into_iter()
+            .map(|idx| vec![train.start + idx])
+            .collect()
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        self.ds.splits().val.clone().map(|i| vec![i]).collect()
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> crate::engine::Fetch {
+        assert_eq!(ids.len(), 1, "dynamic windows cannot share a fused batch");
+        let (x, y, _) = self.ds.snapshot(ids[0]);
+        crate::engine::Fetch { x, y, secs: 0.0 }
+    }
+
+    fn sync_gradients(&self) -> bool {
+        false
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.ds.scaler().std
+    }
+
+    fn forward(
+        &self,
+        model: &dyn st_models::Seq2Seq,
+        tape: &st_autograd::Tape,
+        ids: &[usize],
+        x: &st_tensor::Tensor,
+    ) -> st_autograd::Var {
+        model.forward_dynamic(tape, x, &self.ds.supports_for(ids[0]))
+    }
+}
+
+/// Train a PGT-DCRNN over a dynamic signal with index-batching, via the
+/// unified engine as a one-rank world.
 pub fn train_dynamic(
     signal: &DynamicGraphTemporalSignal,
     horizon: usize,
     cfg: &DynamicTrainConfig,
 ) -> (PgtDcrnn, Vec<DynamicEpochStats>) {
-    use st_autograd::loss;
-    use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
-    use st_autograd::{Module, Tape};
-
     let ds = DynamicIndexDataset::from_signal(
         signal,
         horizon,
         SplitRatios::default(),
         cfg.diffusion_steps,
     );
-    let model = PgtDcrnn::new(
-        ModelConfig {
-            input_dim: ds.num_features(),
-            output_dim: 1,
-            hidden: cfg.hidden,
-            num_nodes: ds.num_nodes(),
-            horizon,
-            diffusion_steps: cfg.diffusion_steps,
-            layers: 1,
+    let std = ds.scaler().std;
+    let mut dist_cfg = crate::dist_index::DistConfig::new(1, cfg.epochs, horizon);
+    dist_cfg.batch_per_worker = 1;
+    dist_cfg.lr = cfg.lr;
+    dist_cfg.seed = cfg.seed;
+    dist_cfg.grad_clip = cfg.grad_clip;
+
+    let (report, model) = crate::engine::run_single(
+        &dist_cfg,
+        &crate::engine::EngineOptions::default(),
+        move |_cm| {
+            let model = PgtDcrnn::new(
+                ModelConfig {
+                    input_dim: ds.num_features(),
+                    output_dim: 1,
+                    hidden: cfg.hidden,
+                    num_nodes: ds.num_nodes(),
+                    horizon,
+                    diffusion_steps: cfg.diffusion_steps,
+                    layers: 1,
+                },
+                // Initial supports only fix the weight layout (support
+                // count); the per-step operators come from the dataset at
+                // runtime through the plane's forward hook.
+                &ds.supports[0],
+                cfg.seed,
+            );
+            (DynamicPlane::new(ds, cfg.seed), model)
         },
-        // Initial supports only fix the weight layout (support count);
-        // the per-step operators come from the dataset at runtime.
-        &ds.supports[0],
-        cfg.seed,
     );
-    let mut opt = Adam::new(model.params(), cfg.lr);
-    let mut stats = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
-        let order = st_tensor::random::permutation(ds.splits().train.len(), cfg.seed, epoch as u64);
-        let mut loss_sum = 0.0f64;
-        let mut count = 0usize;
-        for idx in order {
-            let i = ds.splits().train.start + idx;
-            let (x, y, sup) = ds.snapshot(i);
-            let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-            opt.zero_grad();
-            let tape = Tape::new();
-            let pred = model.forward_dynamic(&tape, &x, &sup);
-            let tgt = tape.constant(target);
-            let l = loss::mae(&pred, &tgt);
-            loss_sum += l.value().item() as f64;
-            count += 1;
-            let grads = tape.backward(&l);
-            tape.accumulate_param_grads(&grads);
-            if let Some(clip) = cfg.grad_clip {
-                clip_grad_norm(&model.params(), clip);
-            }
-            opt.step();
-        }
-        // Validation MAE in original units.
-        let mut abs_sum = 0.0f64;
-        let mut n = 0usize;
-        for i in ds.splits().val.clone() {
-            let (x, y, sup) = ds.snapshot(i);
-            let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-            let tape = Tape::new();
-            let pred = model.forward_dynamic(&tape, &x, &sup);
-            let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-            abs_sum += st_tensor::ops::abs(&diff)
-                .to_vec()
-                .iter()
-                .map(|&v| v as f64)
-                .sum::<f64>();
-            n += target.numel();
-        }
-        stats.push(DynamicEpochStats {
-            epoch,
-            train_loss: (loss_sum / count.max(1) as f64) as f32,
-            val_mae: (abs_sum / n.max(1) as f64) as f32 * ds.scaler().std,
-        });
-    }
+    // Rebuild original-unit validation MAE from the engine's raw f64 sums
+    // (the rank-uniform f32 gather path rounds differently than the
+    // historical single-worker formula).
+    let stats = report
+        .epochs
+        .iter()
+        .zip(report.rank_val[0].iter())
+        .map(|(e, &(abs_sum, n))| DynamicEpochStats {
+            epoch: e.epoch,
+            train_loss: e.train_loss,
+            val_mae: (abs_sum / n.max(1) as f64) as f32 * std,
+        })
+        .collect();
     (model, stats)
 }
 

@@ -1,0 +1,547 @@
+//! The unified distributed training engine.
+//!
+//! The paper's central observation is architectural: index-batching
+//! variants differ only in their **data plane** — full local copies
+//! (§4.2), Dask-style on-demand fetches (§5), halo'd entry partitions
+//! (§5.4), per-partition node subsets and dynamic-graph windows (§7) —
+//! while the training loop itself (forward/backward, DDP averaging,
+//! epoch shuffling, metric reductions) stays fixed. This module is that
+//! fixed loop, factored once:
+//!
+//! - [`DistDataPlane`] — what a variant must provide: an epoch *plan*
+//!   (per-rank batch rounds derived from the shared-seed shuffles),
+//!   quoted batch *fetches* (tensors plus modeled data-plane seconds,
+//!   with bytes on the plane's ledger), and a traffic ledger.
+//! - [`StepLoop`] — the shared step and validation primitives
+//!   (forward/backward/clip/step, original-unit MAE sums via the fused
+//!   [`st_tensor::ops::sum_abs`]), used by the single-worker
+//!   [`Trainer`](crate::trainer::Trainer) and by [`run`] alike.
+//! - [`run`] / [`run_single`] — the epoch loop: one rank per worker,
+//!   bit-deterministic rank-order metric reductions, simulated-clock
+//!   charging, optional checkpoint capture/resume, and double-buffered
+//!   prefetching for every remote data plane behind
+//!   [`DistConfig::prefetch`].
+//!
+//! Determinism invariant (DESIGN.md §2): the engine charges *time* for
+//! fetches and collectives but never lets it influence numerics — plans
+//! are derived from `(seed, epoch[, rank])` alone and all cross-rank
+//! combination happens in rank order.
+
+use crate::dist_index::{DistConfig, DistEpochStats, DistRunResult};
+use st_autograd::loss;
+use st_autograd::module::Param;
+use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
+use st_autograd::{Checkpoint, Tape, Var};
+use st_device::CostModel;
+use st_dist::ddp::DdpContext;
+use st_dist::launch::{self, run_workers, WorkerCtx};
+use st_dist::prefetch::Prefetcher;
+use st_dist::shuffle;
+use st_models::Seq2Seq;
+use st_tensor::Tensor;
+
+/// One quoted data-plane fetch: the batch tensors plus the modeled seconds
+/// of transfer time **not yet charged** to any clock. The plane records
+/// ledger bytes at quote time (traffic is real whether or not its time is
+/// hidden); the engine decides whether the seconds are paid synchronously
+/// or overlapped with compute.
+pub struct Fetch {
+    /// Input window batch `[B, h, N, F]`.
+    pub x: Tensor,
+    /// Label window batch `[B, h, N, F]`.
+    pub y: Tensor,
+    /// Modeled data-plane seconds for this fetch (0 for local planes).
+    pub secs: f64,
+}
+
+/// A data plane: everything that distinguishes one distributed
+/// index-batching variant from another.
+///
+/// Implementations are built **per rank** (each holds its rank's view of
+/// the data) but must agree across ranks on anything that drives
+/// collectives — [`DistDataPlane::rounds_per_epoch`] in particular, which
+/// every rank derives analytically via
+/// [`st_dist::shuffle::common_rounds`] so ragged partitions never leave a
+/// rank blocked on a missing peer.
+pub trait DistDataPlane {
+    /// The per-step collective count all ranks agree on for one epoch
+    /// (≥ the length of any rank's plan). Only consulted when
+    /// [`DistDataPlane::sync_gradients`] is true.
+    fn rounds_per_epoch(&self) -> usize;
+
+    /// This rank's training batches for `epoch`, in visit order: the
+    /// variant's shuffle (global stripe, local permutation, batch-order)
+    /// applied to its portion of the train split.
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>>;
+
+    /// This rank's validation batches.
+    fn plan_val(&self) -> Vec<Vec<usize>>;
+
+    /// Assemble a batch by snapshot id, quoting (not charging) its
+    /// data-plane time and recording its bytes on the ledger.
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch;
+
+    /// Quoted one-time setup transfer (the generalized mode's halo read).
+    /// Charged up front when prefetching is off; overlapped with the first
+    /// epochs' compute when it is on.
+    fn setup_secs(&self) -> f64 {
+        0.0
+    }
+
+    /// Whether fetches cross ranks — enables the prefetcher under
+    /// [`DistConfig::prefetch`]. Local planes return false so the knob is
+    /// a no-op for them.
+    fn remote(&self) -> bool {
+        false
+    }
+
+    /// Whether replicas train one shared model (DDP broadcast + per-step
+    /// gradient averaging). Per-partition and single-worker planes return
+    /// false: each rank trains its own independent model.
+    fn sync_gradients(&self) -> bool {
+        true
+    }
+
+    /// Whether to validate after `epoch` (0-based, of `epochs` total).
+    /// Must be a pure function of the arguments so every rank skips the
+    /// same epochs' metric collectives. Planes whose consumers only read
+    /// the final numbers (partitioned training) validate the last epoch
+    /// only; skipped epochs report `NaN` and a `(0.0, 0)` rank-val entry.
+    fn validate_epoch(&self, epoch: u64, epochs: u64) -> bool {
+        let _ = (epoch, epochs);
+        true
+    }
+
+    /// σ of the fitted scaler — converts standardized MAE sums to
+    /// original units.
+    fn scaler_std(&self) -> f32;
+
+    /// Total sample-data bytes moved between ranks so far (the shared
+    /// data-plane ledger; zero for local-copy planes).
+    fn ledger_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Run the model forward for a batch. The default is the static
+    /// [`Seq2Seq::forward`]; planes whose samples carry extra context
+    /// (per-step diffusion supports on dynamic graphs) override this.
+    fn forward(&self, model: &dyn Seq2Seq, tape: &Tape, ids: &[usize], x: &Tensor) -> Var {
+        let _ = ids;
+        model.forward(tape, x)
+    }
+
+    /// Restrict `(pred, target)` before the validation reduction (the
+    /// partitioned plane narrows to owned nodes so halo duplicates are
+    /// not double-counted). Default: identity.
+    fn val_views(&self, pred: Tensor, target: Tensor) -> (Tensor, Tensor) {
+        (pred, target)
+    }
+}
+
+/// Chunk explicit snapshot ids into batch-sized lists — the standard
+/// validation plan for planes that own an id list outright.
+pub fn chunk_ids(ids: Vec<usize>, batch: usize) -> Vec<Vec<usize>> {
+    ids.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Rank `rank`'s contiguous slice of a split `range`, chunked into
+/// batches — the standard validation plan for replica planes that split
+/// the val set evenly.
+pub fn striped_val_plan(
+    range: std::ops::Range<usize>,
+    world: usize,
+    rank: usize,
+    batch: usize,
+) -> Vec<Vec<usize>> {
+    chunk_ids(
+        shuffle::contiguous_partition(range.len(), world, rank)
+            .map(|i| range.start + i)
+            .collect(),
+        batch,
+    )
+}
+
+/// Rank `rank`'s globally-striped train plan for `epoch`: the shared-seed
+/// permutation's ragged stripe over the split `range`, chunked into
+/// batches. The plan both the local-copy (§4.2) and data-service (§5)
+/// planes derive — only the fetch cost differs.
+pub fn striped_plan(
+    range: std::ops::Range<usize>,
+    world: usize,
+    rank: usize,
+    seed: u64,
+    epoch: u64,
+    batch: usize,
+) -> Vec<Vec<usize>> {
+    chunk_ids(
+        shuffle::global_stripe(range.len(), world, rank, seed, epoch)
+            .into_iter()
+            .map(|i| range.start + i)
+            .collect(),
+        batch,
+    )
+}
+
+/// The collective round count for planes whose train split stripes into
+/// (possibly ragged) contiguous partitions: every rank derives the same
+/// maximum analytically, so per-step all-reduces never mismatch.
+pub fn striped_rounds(train_len: usize, world: usize, batch: usize) -> usize {
+    shuffle::common_rounds(
+        (0..world).map(|r| shuffle::contiguous_partition(train_len, world, r).len()),
+        batch,
+    )
+}
+
+/// The shared training-step primitives: target extraction, one
+/// forward/backward, clip + optimizer step, and the validation reduction.
+/// Both the single-worker [`Trainer`](crate::trainer::Trainer) and the
+/// distributed [`run`] are thin drivers around these.
+pub struct StepLoop {
+    /// Optional global-norm gradient clip applied before each step.
+    pub grad_clip: Option<f32>,
+}
+
+impl StepLoop {
+    /// The forecast target: feature 0 of the label window, contiguous.
+    pub fn target_of(y: &Tensor) -> Tensor {
+        y.narrow(3, 0, 1).expect("output feature").contiguous()
+    }
+
+    /// One forward/backward: run `fwd` on a fresh tape, take the MAE
+    /// against `y`'s target, backprop, and accumulate parameter
+    /// gradients. Returns the (standardized) loss value.
+    pub fn forward_backward(&self, fwd: impl FnOnce(&Tape) -> Var, y: &Tensor) -> f32 {
+        let target = Self::target_of(y);
+        let tape = Tape::new();
+        let pred = fwd(&tape);
+        let tgt = tape.constant(target);
+        let l = loss::mae(&pred, &tgt);
+        let value = l.value().item();
+        let grads = tape.backward(&l);
+        tape.accumulate_param_grads(&grads);
+        value
+    }
+
+    /// Clip (when configured) and apply one optimizer step.
+    pub fn clip_and_step(&self, params: &[Param], opt: &mut dyn Optimizer) {
+        if let Some(clip) = self.grad_clip {
+            clip_grad_norm(params, clip);
+        }
+        opt.step();
+    }
+
+    /// One validation batch: forward, restrict views, and return the
+    /// `(Σ|pred − target|, element count)` pair in standardized units.
+    pub fn val_batch(
+        &self,
+        fwd: impl FnOnce(&Tape) -> Var,
+        y: &Tensor,
+        restrict: impl FnOnce(Tensor, Tensor) -> (Tensor, Tensor),
+    ) -> (f64, usize) {
+        let target = Self::target_of(y);
+        let tape = Tape::new();
+        let pred = fwd(&tape);
+        let (pred, target) = restrict(pred.value().clone(), target);
+        let diff = st_tensor::ops::sub(&pred, &target).expect("same shape");
+        (st_tensor::ops::sum_abs(&diff), target.numel())
+    }
+}
+
+/// Engine knobs beyond [`DistConfig`]: checkpoint capture and resume.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Serialized [`Checkpoint`] to restore before training. Every rank
+    /// restores the same bytes (preserving replica equality) and the run
+    /// continues from the checkpoint's epoch, replaying the exact
+    /// epoch-keyed shuffle sequence an uninterrupted run would have used.
+    pub resume: Option<Vec<u8>>,
+    /// Capture a rank-0 checkpoint (model + Adam + next epoch) at the end
+    /// of the run, returned in [`EngineReport::checkpoint`].
+    pub capture_checkpoint: bool,
+}
+
+/// What one engine run reports.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-epoch stats (rank-0 view; all ranks agree).
+    pub epochs: Vec<DistEpochStats>,
+    /// Simulated compute seconds (rank 0).
+    pub sim_compute_secs: f64,
+    /// Simulated communication seconds (rank 0).
+    pub sim_comm_secs: f64,
+    /// Total simulated seconds (rank 0).
+    pub sim_total_secs: f64,
+    /// Collective payload bytes plus data-plane bytes.
+    pub bytes_moved: u64,
+    /// Sample-data bytes moved between ranks (the plane's ledger).
+    pub data_plane_bytes: u64,
+    /// Wall-clock seconds of the whole run.
+    pub wall_secs: f64,
+    /// Per-rank, per-epoch local validation `(Σ|err|, count)` sums in
+    /// standardized units — the raw material for combinations the
+    /// rank-uniform `epochs` view cannot express (per-partition MAE
+    /// under per-partition scalers).
+    pub rank_val: Vec<Vec<(f64, usize)>>,
+    /// Final checkpoint bytes when requested via
+    /// [`EngineOptions::capture_checkpoint`].
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+impl EngineReport {
+    /// Collapse into the public per-runner result type.
+    pub fn into_dist_result(self) -> DistRunResult {
+        DistRunResult {
+            epochs: self.epochs,
+            sim_compute_secs: self.sim_compute_secs,
+            sim_comm_secs: self.sim_comm_secs,
+            sim_total_secs: self.sim_total_secs,
+            bytes_moved: self.bytes_moved,
+            data_plane_bytes: self.data_plane_bytes,
+            wall_secs: self.wall_secs,
+        }
+    }
+}
+
+/// One rank's outcome, combined by [`run`] into an [`EngineReport`].
+struct RankOutcome {
+    epochs: Vec<DistEpochStats>,
+    val_series: Vec<(f64, usize)>,
+    compute_secs: f64,
+    comm_secs: f64,
+    total_secs: f64,
+    hub_bytes: u64,
+    ledger_bytes: u64,
+    checkpoint: Option<Vec<u8>>,
+}
+
+/// Run the unified distributed epoch loop: one worker per rank, each with
+/// its own plane (from `plane_factory`) and model replica (from
+/// `model_factory`).
+pub fn run<P, PF, MF>(
+    cfg: &DistConfig,
+    opts: &EngineOptions,
+    plane_factory: PF,
+    model_factory: MF,
+) -> EngineReport
+where
+    P: DistDataPlane,
+    PF: Fn(usize, &CostModel) -> P + Sync,
+    MF: Fn(&P) -> Box<dyn Seq2Seq> + Sync,
+{
+    let start = std::time::Instant::now();
+    let outcomes = run_workers(cfg.world, cfg.topology, |mut ctx| {
+        let cm = ctx.comm.hub().cost_model().clone();
+        let plane = plane_factory(ctx.rank(), &cm);
+        let model = model_factory(&plane);
+        run_rank(cfg, opts, &plane, model.as_ref(), &mut ctx, &cm)
+    });
+    assemble(outcomes, start)
+}
+
+/// Run the engine inline as a one-rank world, returning the trained model
+/// alongside the report (models are not `Send`, so the threaded [`run`]
+/// cannot hand them back). Used by the dynamic-graph runner, which
+/// returns its model to the caller.
+pub fn run_single<P, M, B>(cfg: &DistConfig, opts: &EngineOptions, build: B) -> (EngineReport, M)
+where
+    P: DistDataPlane,
+    M: Seq2Seq,
+    B: FnOnce(&CostModel) -> (P, M),
+{
+    assert_eq!(cfg.world, 1, "run_single is the world-of-one entry point");
+    let start = std::time::Instant::now();
+    let (outcome, model) = launch::run_single(cfg.topology, |mut ctx| {
+        let cm = ctx.comm.hub().cost_model().clone();
+        let (plane, model) = build(&cm);
+        let outcome = run_rank(cfg, opts, &plane, &model, &mut ctx, &cm);
+        (outcome, model)
+    });
+    (assemble(vec![outcome], start), model)
+}
+
+/// The per-rank epoch loop — the six former hand-copied loops, once.
+fn run_rank<P: DistDataPlane>(
+    cfg: &DistConfig,
+    opts: &EngineOptions,
+    plane: &P,
+    model: &dyn Seq2Seq,
+    ctx: &mut WorkerCtx,
+    cm: &CostModel,
+) -> RankOutcome {
+    let step = StepLoop {
+        grad_clip: cfg.grad_clip,
+    };
+    let sync = plane.sync_gradients();
+    let mut ddp = sync.then(|| DdpContext::new(model.params()));
+    if let Some(d) = ddp.as_mut() {
+        d.broadcast_parameters(&mut ctx.comm);
+    }
+    let mut opt = Adam::new(model.params(), cfg.effective_lr());
+    let mut start_epoch = 0u64;
+    if let Some(bytes) = &opts.resume {
+        let ck = Checkpoint::from_bytes(bytes).expect("valid checkpoint bytes");
+        start_epoch = ck
+            .restore(&model.params(), &mut opt)
+            .expect("checkpoint matches model");
+    }
+    let gpu_flops = cm.gpu_flops;
+
+    // §7 prefetching: remote planes double-buffer fetches so data-plane
+    // time hides behind compute; the one-time setup transfer (halo reads)
+    // is likewise issued asynchronously and its exposed remainder shrinks
+    // as compute lands. Bytes are on the ledger either way.
+    let prefetch_on = cfg.prefetch && plane.remote();
+    let mut setup_exposed = plane.setup_secs();
+    if !prefetch_on && setup_exposed > 0.0 {
+        ctx.clock.advance_comm(setup_exposed);
+        setup_exposed = 0.0;
+    }
+
+    let mut epoch_stats = Vec::with_capacity(cfg.epochs);
+    let mut val_series = Vec::with_capacity(cfg.epochs);
+    for epoch in start_epoch..cfg.epochs as u64 {
+        let plan = plane.plan_epoch(epoch);
+        // With synchronized gradients every rank must enter the same
+        // number of per-step collectives; exhausted ranks contribute
+        // zeros. Independent models just walk their own plan.
+        let rounds = if sync {
+            plane.rounds_per_epoch()
+        } else {
+            plan.len()
+        };
+        debug_assert!(rounds >= plan.len(), "plan exceeds agreed rounds");
+        let mut pf = prefetch_on.then(Prefetcher::new);
+        if let (Some(p), Some(first)) = (pf.as_mut(), plan.first()) {
+            let f = plane.fetch_batch(first);
+            p.issue((f.x, f.y), f.secs);
+        }
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for round in 0..rounds {
+            opt.zero_grad();
+            if let Some(ids) = plan.get(round) {
+                let (x, y) = match pf.as_mut() {
+                    Some(p) => {
+                        let pair = p.wait(&ctx.clock);
+                        if let Some(next) = plan.get(round + 1) {
+                            let f = plane.fetch_batch(next);
+                            p.issue((f.x, f.y), f.secs);
+                        }
+                        pair
+                    }
+                    None => {
+                        let f = plane.fetch_batch(ids);
+                        if f.secs > 0.0 {
+                            ctx.clock.advance_comm(f.secs);
+                        }
+                        (f.x, f.y)
+                    }
+                };
+                let l = step.forward_backward(|tape| plane.forward(model, tape, ids, &x), &y);
+                loss_sum += l as f64;
+                batches += 1;
+                // Charge modeled step compute (fwd + bwd ≈ 3× fwd) and
+                // credit it against in-flight transfers: setup first,
+                // then the double-buffered next batch.
+                let compute_secs = 3.0 * model.flops_per_forward(ids.len()) / gpu_flops;
+                ctx.clock.advance_compute(compute_secs);
+                let mut budget = compute_secs;
+                if setup_exposed > 0.0 {
+                    let hidden = setup_exposed.min(budget);
+                    setup_exposed -= hidden;
+                    budget -= hidden;
+                }
+                if let Some(p) = pf.as_mut() {
+                    p.overlap(budget);
+                }
+            }
+            if let Some(d) = ddp.as_mut() {
+                d.average_gradients(&mut ctx.comm);
+            }
+            step.clip_and_step(&model.params(), &mut opt);
+        }
+
+        // Mean training loss across ranks (rank-order combination).
+        let sums = ctx
+            .comm
+            .all_gather_scalar((loss_sum / batches.max(1) as f64) as f32);
+        let train_loss = sums.iter().sum::<f32>() / sums.len() as f32;
+
+        // Validation: each rank evaluates its own slice synchronously.
+        // Skippable per epoch (every rank derives the same decision, so
+        // the metric collectives stay aligned).
+        let val_mae = if plane.validate_epoch(epoch, cfg.epochs as u64) {
+            let mut abs_sum = 0.0f64;
+            let mut count = 0usize;
+            for ids in plane.plan_val() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let f = plane.fetch_batch(&ids);
+                if f.secs > 0.0 {
+                    ctx.clock.advance_comm(f.secs);
+                }
+                let (a, c) = step.val_batch(
+                    |tape| plane.forward(model, tape, &ids, &f.x),
+                    &f.y,
+                    |pred, target| plane.val_views(pred, target),
+                );
+                ctx.clock
+                    .advance_compute(model.flops_per_forward(ids.len()) / gpu_flops);
+                abs_sum += a;
+                count += c;
+            }
+            let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
+            let counts = ctx.comm.all_gather_scalar(count as f32);
+            val_series.push((abs_sum, count));
+            totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * plane.scaler_std()
+        } else {
+            val_series.push((0.0, 0));
+            f32::NAN
+        };
+        epoch_stats.push(DistEpochStats {
+            epoch: epoch as usize,
+            train_loss,
+            val_mae,
+        });
+    }
+    // Any setup time never hidden by compute is still owed.
+    if setup_exposed > 0.0 {
+        ctx.clock.advance_comm(setup_exposed);
+    }
+
+    let checkpoint = (opts.capture_checkpoint && ctx.rank() == 0).then(|| {
+        Checkpoint::capture(&model.params(), &opt, cfg.epochs as u64)
+            .to_bytes()
+            .to_vec()
+    });
+    // Let every rank finish fetching before the shared ledger is read.
+    ctx.comm.barrier();
+    RankOutcome {
+        epochs: epoch_stats,
+        val_series,
+        compute_secs: ctx.clock.compute_secs(),
+        comm_secs: ctx.clock.comm_secs(),
+        total_secs: ctx.clock.now(),
+        hub_bytes: ctx.comm.hub().bytes_moved(),
+        ledger_bytes: plane.ledger_bytes(),
+        checkpoint,
+    }
+}
+
+fn assemble(mut outcomes: Vec<RankOutcome>, start: std::time::Instant) -> EngineReport {
+    let rank_val = outcomes.iter().map(|o| o.val_series.clone()).collect();
+    let checkpoint = outcomes[0].checkpoint.take();
+    let o0 = &outcomes[0];
+    EngineReport {
+        epochs: o0.epochs.clone(),
+        sim_compute_secs: o0.compute_secs,
+        sim_comm_secs: o0.comm_secs,
+        sim_total_secs: o0.total_secs,
+        bytes_moved: o0.hub_bytes + o0.ledger_bytes,
+        data_plane_bytes: o0.ledger_bytes,
+        wall_secs: start.elapsed().as_secs_f64(),
+        rank_val,
+        checkpoint,
+    }
+}

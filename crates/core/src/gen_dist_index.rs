@@ -9,20 +9,22 @@
 //! (Table 5 shows this costs no accuracy versus global shuffling), so epochs
 //! stay communication-free on the data plane — versus baseline DDP whose
 //! globally-shuffled fetches touch remote partitions every batch (Fig. 9).
+//!
+//! The epoch loop lives in [`crate::engine`]; this module contributes
+//! [`HaloEntryPlane`], whose only quoted transfer is the setup halo read —
+//! under [`DistConfig::prefetch`] the engine overlaps that read with early
+//! compute instead of paying it up front.
 
-use crate::dist_index::{DistConfig, DistEpochStats, DistRunResult};
+use crate::dist_index::{DistConfig, DistRunResult};
+use crate::engine::{self, DistDataPlane, EngineOptions, Fetch};
 use crate::index_batching::IndexDataset;
-use st_autograd::loss;
-use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
-use st_autograd::Tape;
 use st_data::scaler::StandardScaler;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
 use st_dist::datasvc::DistributedArray;
-use st_dist::ddp::DdpContext;
-use st_dist::launch::run_workers;
 use st_dist::shuffle;
 use st_models::Seq2Seq;
+use std::sync::Arc;
 
 /// A worker's slice of the generalized dataset: its entry partition plus
 /// halo, re-wrapped as a local [`IndexDataset`] over *local* snapshot ids.
@@ -41,7 +43,10 @@ pub struct GenPartition {
 ///
 /// `entries_array` is the standardized `[E, N·F]`-flattened signal wrapped
 /// in a [`DistributedArray`]; the halo read past the partition boundary is
-/// the only remote traffic.
+/// the only remote traffic. Its bytes are ledgered immediately, but its
+/// modeled seconds come back **quoted** so the caller (the engine) decides
+/// whether to pay them up front or hide them behind compute.
+#[allow(clippy::too_many_arguments)]
 pub fn build_partition(
     entries_array: &DistributedArray,
     scaler: StandardScaler,
@@ -52,8 +57,7 @@ pub fn build_partition(
     rank: usize,
     snapshot_split: &st_data::splits::SplitIndices,
     cost: &st_device::CostModel,
-    clock: &st_device::SimClock,
-) -> GenPartition {
+) -> (GenPartition, f64) {
     let num_entries = entries_array.rows();
     let total_snaps = st_data::preprocess::num_snapshots(num_entries, horizon);
 
@@ -62,8 +66,8 @@ pub fn build_partition(
     let entry_start = snap_range.start;
     let entry_end = (snap_range.end + 2 * horizon - 1).min(num_entries);
 
-    // One contiguous (mostly-local + halo) read.
-    let rows = entries_array.fetch_range(rank, entry_start..entry_end, cost, clock);
+    // One contiguous (mostly-local + halo) read, quoted.
+    let (rows, setup_secs) = entries_array.fetch_range_quoted(rank, entry_start..entry_end, cost);
     let local_entries = entry_end - entry_start;
     let data = rows
         .reshape([local_entries, nodes, features])
@@ -84,12 +88,15 @@ pub fn build_partition(
         scaler,
         SplitRatios::default().split(st_data::preprocess::num_snapshots(local_entries, horizon)),
     );
-    GenPartition {
-        local,
-        global_train_ids: train,
-        global_val_ids: val,
-        entry_offset: entry_start,
-    }
+    (
+        GenPartition {
+            local,
+            global_train_ids: train,
+            global_val_ids: val,
+            entry_offset: entry_start,
+        },
+        setup_secs,
+    )
 }
 
 impl GenPartition {
@@ -110,6 +117,123 @@ impl GenPartition {
     }
 }
 
+/// The §5.4 data plane: a fixed entry partition plus halo, with batch-level
+/// shuffling inside the partition and a data-plane ledger that only ever
+/// records the setup halo reads.
+pub struct HaloEntryPlane {
+    part: GenPartition,
+    shared: Arc<DistributedArray>,
+    scaler_std: f32,
+    rounds: usize,
+    batch: usize,
+    seed: u64,
+    rank: usize,
+    setup_secs: f64,
+}
+
+impl HaloEntryPlane {
+    /// Build rank `rank`'s plane over the shared entry array.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        shared: Arc<DistributedArray>,
+        scaler: StandardScaler,
+        nodes: usize,
+        features: usize,
+        split: &st_data::splits::SplitIndices,
+        cfg: &DistConfig,
+        rank: usize,
+        cost: &st_device::CostModel,
+    ) -> Self {
+        let (part, setup_secs) = build_partition(
+            &shared,
+            scaler,
+            nodes,
+            features,
+            cfg.horizon,
+            cfg.world,
+            rank,
+            split,
+            cost,
+        );
+        // Partitions intersected with the train split are ragged (a rank
+        // owning only validation-era snapshots may have *zero* train
+        // batches); all ranks agree on the max batch count analytically.
+        let total_snaps = st_data::preprocess::num_snapshots(shared.rows(), cfg.horizon);
+        let rounds = shuffle::common_rounds(
+            (0..cfg.world).map(|r| {
+                let snaps = shuffle::contiguous_partition(total_snaps, cfg.world, r);
+                shuffle::range_overlap(&snaps, &split.train)
+            }),
+            cfg.batch_per_worker,
+        );
+        HaloEntryPlane {
+            part,
+            shared,
+            scaler_std: scaler.std,
+            rounds,
+            batch: cfg.batch_per_worker,
+            seed: cfg.seed,
+            rank,
+            setup_secs,
+        }
+    }
+
+    /// The worker's local dataset (model factories derive dims from it).
+    pub fn dataset(&self) -> &IndexDataset {
+        &self.part.local
+    }
+
+    /// The underlying partition.
+    pub fn partition(&self) -> &GenPartition {
+        &self.part
+    }
+}
+
+impl DistDataPlane for HaloEntryPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        self.rounds
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        // Batch-level shuffling: fixed batch contents, shuffled order.
+        let train_ids: Vec<usize> = self.part.global_train_ids.clone().collect();
+        let num_batches = train_ids.len().div_ceil(self.batch.max(1));
+        shuffle::batch_order_shuffle(num_batches, self.seed, self.rank, epoch)
+            .into_iter()
+            .filter_map(|b| {
+                let lo = b * self.batch;
+                let hi = ((b + 1) * self.batch).min(train_ids.len());
+                (lo < hi).then(|| train_ids[lo..hi].to_vec())
+            })
+            .collect()
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        engine::chunk_ids(self.part.global_val_ids.clone().collect(), self.batch)
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+        let (x, y) = self.part.batch_global(ids);
+        Fetch { x, y, secs: 0.0 }
+    }
+
+    fn setup_secs(&self) -> f64 {
+        self.setup_secs
+    }
+
+    fn remote(&self) -> bool {
+        true
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.scaler_std
+    }
+
+    fn ledger_bytes(&self) -> u64 {
+        self.shared.remote_bytes()
+    }
+}
+
 /// Run generalized-distributed-index-batching.
 pub fn run_generalized<F>(
     signal: &StaticGraphTemporalSignal,
@@ -119,7 +243,6 @@ pub fn run_generalized<F>(
 where
     F: Fn(&IndexDataset) -> Box<dyn Seq2Seq> + Sync,
 {
-    let start = std::time::Instant::now();
     // Standardize once (the paper's generalized mode preprocesses
     // distributedly; the single-copy standardization is the index-batching
     // part, and the DistributedArray below is the partitioning part).
@@ -141,132 +264,24 @@ where
         .expect("flatten");
     let shared = DistributedArray::new(entries, cfg.world, cfg.topology, 4);
 
-    // Partitions intersected with the train split are ragged (a rank owning
-    // only validation-era snapshots may have *zero* train batches); all
-    // ranks agree on the max batch count so per-step all-reduces line up.
-    let total_snaps = st_data::preprocess::num_snapshots(sig.entries(), cfg.horizon);
-    let rounds = shuffle::common_rounds(
-        (0..cfg.world).map(|r| {
-            let snaps = shuffle::contiguous_partition(total_snaps, cfg.world, r);
-            shuffle::range_overlap(&snaps, &split.train)
-        }),
-        cfg.batch_per_worker,
-    );
-
-    let results = run_workers(cfg.world, cfg.topology, |mut ctx| {
-        let cm = ctx.comm.hub().cost_model().clone();
-        let part = build_partition(
-            &shared,
-            scaler,
-            nodes,
-            features,
-            cfg.horizon,
-            cfg.world,
-            ctx.rank(),
-            &split,
-            &cm,
-            &ctx.clock,
-        );
-        let model = model_factory(&part.local);
-        let mut ddp = DdpContext::new(model.params());
-        ddp.broadcast_parameters(&mut ctx.comm);
-        let mut opt = Adam::new(model.params(), cfg.effective_lr());
-        let gpu_flops = cm.gpu_flops;
-
-        let train_ids: Vec<usize> = part.global_train_ids.clone().collect();
-        let num_batches = train_ids.len().div_ceil(cfg.batch_per_worker.max(1));
-        let mut epoch_stats = Vec::with_capacity(cfg.epochs);
-        for epoch in 0..cfg.epochs {
-            // Batch-level shuffling: fixed batch contents, shuffled order.
-            let order =
-                shuffle::batch_order_shuffle(num_batches, cfg.seed, ctx.rank(), epoch as u64);
-            let mut loss_sum = 0.0f64;
-            let mut batches = 0usize;
-            for round in 0..rounds {
-                opt.zero_grad();
-                if let Some(&b) = order.get(round) {
-                    let lo = b * cfg.batch_per_worker;
-                    let hi = ((b + 1) * cfg.batch_per_worker).min(train_ids.len());
-                    if lo < hi {
-                        let (x, y) = part.batch_global(&train_ids[lo..hi]);
-                        let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-                        let tape = Tape::new();
-                        let pred = model.forward(&tape, &x);
-                        let tgt = tape.constant(target);
-                        let l = loss::mae(&pred, &tgt);
-                        loss_sum += l.value().item() as f64;
-                        batches += 1;
-                        let grads = tape.backward(&l);
-                        tape.accumulate_param_grads(&grads);
-                        ctx.clock
-                            .advance_compute(3.0 * model.flops_per_forward(hi - lo) / gpu_flops);
-                    }
-                }
-                // Ranks whose partition holds fewer (or zero) train batches
-                // contribute zero gradients but still meet every collective.
-                ddp.average_gradients(&mut ctx.comm);
-                if let Some(clip) = cfg.grad_clip {
-                    clip_grad_norm(&model.params(), clip);
-                }
-                opt.step();
-            }
-            let sums = ctx
-                .comm
-                .all_gather_scalar((loss_sum / batches.max(1) as f64) as f32);
-            let train_loss = sums.iter().sum::<f32>() / sums.len() as f32;
-
-            // Validation over this partition's val snapshots.
-            let val_ids: Vec<usize> = part.global_val_ids.clone().collect();
-            let mut abs_sum = 0.0f64;
-            let mut count = 0usize;
-            for chunk in val_ids.chunks(cfg.batch_per_worker.max(1)) {
-                if chunk.is_empty() {
-                    continue;
-                }
-                let (x, y) = part.batch_global(chunk);
-                let target = y.narrow(3, 0, 1).expect("feature 0").contiguous();
-                let tape = Tape::new();
-                let pred = model.forward(&tape, &x);
-                ctx.clock
-                    .advance_compute(model.flops_per_forward(chunk.len()) / gpu_flops);
-                let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-                abs_sum += st_tensor::ops::abs(&diff)
-                    .to_vec()
-                    .iter()
-                    .map(|&v| v as f64)
-                    .sum::<f64>();
-                count += target.numel();
-            }
-            let totals = ctx.comm.all_gather_scalar(abs_sum as f32);
-            let counts = ctx.comm.all_gather_scalar(count as f32);
-            let val_mae =
-                totals.iter().sum::<f32>() / counts.iter().sum::<f32>().max(1.0) * scaler.std;
-            epoch_stats.push(DistEpochStats {
-                epoch,
-                train_loss,
-                val_mae,
-            });
-        }
-        (
-            epoch_stats,
-            ctx.clock.compute_secs(),
-            ctx.clock.comm_secs(),
-            ctx.clock.now(),
-            ctx.comm.hub().bytes_moved(),
-        )
-    });
-
-    let data_bytes = shared.remote_bytes();
-    let (epochs, compute, comm, total, grad_bytes) = results.into_iter().next().expect("rank 0");
-    DistRunResult {
-        epochs,
-        sim_compute_secs: compute,
-        sim_comm_secs: comm,
-        sim_total_secs: total,
-        bytes_moved: grad_bytes + data_bytes,
-        data_plane_bytes: data_bytes, // setup halo reads only
-        wall_secs: start.elapsed().as_secs_f64(),
-    }
+    engine::run(
+        cfg,
+        &EngineOptions::default(),
+        |rank, cm| {
+            HaloEntryPlane::new(
+                shared.clone(),
+                scaler,
+                nodes,
+                features,
+                &split,
+                cfg,
+                rank,
+                cm,
+            )
+        },
+        |plane: &HaloEntryPlane| model_factory(plane.dataset()),
+    )
+    .into_dist_result()
 }
 
 #[cfg(test)]
@@ -316,9 +331,8 @@ mod tests {
             .unwrap();
         let shared = DistributedArray::new(entries, 3, ClusterTopology::polaris(), 4);
         let cm = st_device::CostModel::polaris();
-        let clock = st_device::SimClock::new();
         for rank in 0..3 {
-            let part = build_partition(
+            let (part, _) = build_partition(
                 &shared,
                 *full.scaler(),
                 full.num_nodes(),
@@ -328,7 +342,6 @@ mod tests {
                 rank,
                 full.splits(),
                 &cm,
-                &clock,
             );
             // Every boundary-adjacent snapshot must match the full copy.
             for g in [
@@ -386,5 +399,36 @@ mod tests {
         // total for 3 epochs must be far below 3× the 1-epoch total would
         // be if data were refetched every epoch like baseline DDP.
         assert!(three.bytes_moved < 4 * one.bytes_moved);
+        assert_eq!(
+            one.data_plane_bytes, three.data_plane_bytes,
+            "halo reads are setup-only"
+        );
+    }
+
+    #[test]
+    fn prefetch_overlaps_the_halo_read() {
+        // §7 prefetching on the generalized plane: the setup halo read is
+        // issued asynchronously and hidden behind early compute, so total
+        // simulated time drops while ledger bytes stay identical.
+        let (spec, sig) = setup();
+        let mut cfg = DistConfig::new(2, 2, spec.horizon);
+        cfg.batch_per_worker = 4;
+        cfg.time_period = Some(spec.period);
+        let sync = run_generalized(&sig, &cfg, factory(&sig, spec.horizon));
+        cfg.prefetch = true;
+        let pf = run_generalized(&sig, &cfg, factory(&sig, spec.horizon));
+        assert!(
+            pf.sim_total_secs < sync.sim_total_secs,
+            "prefetch total {} s must beat sync {} s",
+            pf.sim_total_secs,
+            sync.sim_total_secs
+        );
+        assert_eq!(pf.data_plane_bytes, sync.data_plane_bytes);
+        for (a, b) in pf.epochs.iter().zip(sync.epochs.iter()) {
+            assert_eq!(
+                a.train_loss, b.train_loss,
+                "prefetching must not change learning"
+            );
+        }
     }
 }

@@ -19,11 +19,18 @@
 //! - **speedup**: partitions train in parallel, so the critical path is
 //!   the *largest* partition's per-epoch compute
 //!   ([`PartitionedResult::parallel_flops_fraction`]).
+//!
+//! Training runs on [`crate::engine`] with one rank per partition and
+//! **independent** models (`sync_gradients = false`): the engine's epoch
+//! loop drives every partition concurrently, and validation is restricted
+//! to owned nodes through [`crate::engine::DistDataPlane::val_views`].
 
+use crate::engine::{self, DistDataPlane, EngineOptions, Fetch};
 use crate::index_batching::IndexDataset;
-use crate::trainer::{Trainer, TrainerConfig};
+use st_data::loader::Batcher;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
+use st_dist::topology::ClusterTopology;
 use st_graph::{diffusion_supports, Partitioning};
 use st_models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
 use st_tensor::Tensor;
@@ -144,9 +151,94 @@ pub fn node_subset_signal(
     StaticGraphTemporalSignal::new(subset, adjacency)
 }
 
+/// The §7 partitioned data plane: one rank per graph partition, each with
+/// an index-batched dataset over its halo-augmented node subset and an
+/// **independent** model (no gradient synchronization). Validation is
+/// narrowed to owned nodes so halo duplicates are never double-counted.
+pub struct PartitionedPlane {
+    ds: IndexDataset,
+    owned: usize,
+    batch: usize,
+    seed: u64,
+    rank: usize,
+}
+
+impl PartitionedPlane {
+    /// Wrap a partition's dataset; `owned` is the count of nodes this
+    /// partition owns (its nodes are ordered owned-first), `rank` the
+    /// partition/worker index.
+    pub fn new(ds: IndexDataset, owned: usize, batch: usize, seed: u64, rank: usize) -> Self {
+        PartitionedPlane {
+            ds,
+            owned,
+            batch,
+            seed,
+            rank,
+        }
+    }
+
+    /// The partition's dataset.
+    pub fn dataset(&self) -> &IndexDataset {
+        &self.ds
+    }
+
+    /// The partition (= engine rank) this plane belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl DistDataPlane for PartitionedPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        self.ds.splits().train.len().div_ceil(self.batch.max(1))
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let ids: Vec<usize> = self.ds.splits().train.clone().collect();
+        let batcher = Batcher::shuffled(ids, self.batch, self.seed, epoch);
+        batcher.batches().map(|b| b.to_vec()).collect()
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        engine::chunk_ids(self.ds.splits().val.clone().collect(), self.batch)
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+        let (x, y) = self.ds.batch(ids);
+        Fetch { x, y, secs: 0.0 }
+    }
+
+    fn sync_gradients(&self) -> bool {
+        false
+    }
+
+    fn validate_epoch(&self, epoch: u64, epochs: u64) -> bool {
+        // Only the final numbers are consumed (per-partition MAE from the
+        // last rank-val entry), matching the pre-engine runner's single
+        // post-training validation — intermediate epochs skip it.
+        epoch + 1 == epochs
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.ds.scaler().std
+    }
+
+    fn val_views(&self, pred: Tensor, target: Tensor) -> (Tensor, Tensor) {
+        let p = pred
+            .narrow(2, 0, self.owned)
+            .expect("owned prefix")
+            .contiguous();
+        let t = target
+            .narrow(2, 0, self.owned)
+            .expect("owned prefix")
+            .contiguous();
+        (p, t)
+    }
+}
+
 /// Run partitioned index-batching training: one PGT-DCRNN per partition,
-/// each trained on its halo-augmented node-subset signal, validated on its
-/// owned nodes only.
+/// all partitions trained **concurrently** as engine ranks, each on its
+/// halo-augmented node-subset signal, validated on its owned nodes only.
 pub fn run_partitioned(
     signal: &StaticGraphTemporalSignal,
     cfg: &PartitionedConfig,
@@ -168,31 +260,71 @@ pub fn run_partitioned(
     let whole_flops = whole_model.flops_per_forward(1);
     let whole_resident_bytes = whole_ds.resident_bytes(4);
 
+    // Per-partition signals and datasets, built once up front (tensor
+    // storage is shared, so the engine's per-rank planes clone in O(1)).
+    let locals: Vec<(StaticGraphTemporalSignal, IndexDataset)> = subgraphs
+        .iter()
+        .map(|sub| {
+            let local_sig = node_subset_signal(signal, &sub.global_ids, sub.adjacency.clone());
+            let ds = IndexDataset::from_signal(
+                &local_sig,
+                cfg.horizon,
+                SplitRatios::default(),
+                cfg.time_period,
+            );
+            (local_sig, ds)
+        })
+        .collect();
+
+    let mut dist_cfg = crate::dist_index::DistConfig::new(cfg.parts, cfg.epochs, cfg.horizon);
+    dist_cfg.batch_per_worker = cfg.batch_size;
+    dist_cfg.lr = cfg.lr;
+    dist_cfg.seed = cfg.seed;
+    dist_cfg.grad_clip = Some(5.0);
+    dist_cfg.time_period = cfg.time_period;
+    dist_cfg.topology = ClusterTopology::polaris();
+
+    // Per-partition forward FLOPs, captured from the models the engine
+    // builds (so nothing is constructed twice just to size it).
+    let part_flops = std::sync::Mutex::new(vec![0.0f64; cfg.parts]);
+    let report = engine::run(
+        &dist_cfg,
+        &EngineOptions::default(),
+        |rank, _cm| {
+            PartitionedPlane::new(
+                locals[rank].1.clone(),
+                subgraphs[rank].owned_count,
+                cfg.batch_size,
+                cfg.seed,
+                rank,
+            )
+        },
+        |plane: &PartitionedPlane| {
+            let model = build_model(plane.dataset(), &locals[plane.rank()].0, cfg);
+            part_flops.lock().unwrap()[plane.rank()] = model.flops_per_forward(1);
+            Box::new(model) as Box<dyn Seq2Seq>
+        },
+    );
+    let part_flops = part_flops.into_inner().unwrap();
+
     let mut parts = Vec::with_capacity(cfg.parts);
     let mut abs_weighted = 0.0f64;
     let mut weight = 0.0f64;
     let mut max_flops = 0.0f64;
     let mut max_resident = 0u64;
-    for sub in &subgraphs {
-        let local_sig = node_subset_signal(signal, &sub.global_ids, sub.adjacency.clone());
-        let ds = IndexDataset::from_signal(
-            &local_sig,
-            cfg.horizon,
-            SplitRatios::default(),
-            cfg.time_period,
-        );
-        let model = build_model(&ds, &local_sig, cfg);
-        let trainer = Trainer::new(TrainerConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            lr: cfg.lr,
-            seed: cfg.seed,
-            validate: false,
-            grad_clip: Some(5.0),
-        });
-        trainer.train(&model, &ds);
-        let val_mae = owned_val_mae(&model, &ds, sub.owned_count, cfg.batch_size);
-        let flops = model.flops_per_forward(1);
+    for (rank, sub) in subgraphs.iter().enumerate() {
+        let ds = &locals[rank].1;
+        // Final-epoch local validation sums, in this partition's scaler
+        // units (each partition fits its own scaler). An empty val split
+        // — or a zero-epoch run, which never validates — is NaN, never a
+        // perfect 0.0.
+        let (abs_sum, count) = report.rank_val[rank].last().copied().unwrap_or((0.0, 0));
+        let val_mae = if count == 0 {
+            f32::NAN
+        } else {
+            (abs_sum / count as f64) as f32 * ds.scaler().std
+        };
+        let flops = part_flops[rank];
         let resident = ds.resident_bytes(4);
         max_flops = max_flops.max(flops);
         max_resident = max_resident.max(resident);
@@ -220,40 +352,6 @@ pub fn run_partitioned(
     }
 }
 
-/// Validation MAE restricted to the first `owned` nodes, original units.
-fn owned_val_mae(model: &PgtDcrnn, ds: &IndexDataset, owned: usize, batch: usize) -> f32 {
-    let ids: Vec<usize> = ds.splits().val.clone().collect();
-    if ids.is_empty() {
-        return f32::NAN;
-    }
-    let mut abs_sum = 0.0f64;
-    let mut count = 0usize;
-    for chunk in ids.chunks(batch.max(1)) {
-        let (x, y) = ds.batch(chunk);
-        let target: Tensor = y
-            .narrow(3, 0, 1)
-            .expect("output feature")
-            .narrow(2, 0, owned)
-            .expect("owned prefix")
-            .contiguous();
-        let tape = st_autograd::Tape::new();
-        let pred = model.forward(&tape, &x);
-        let pred_owned = pred
-            .value()
-            .narrow(2, 0, owned)
-            .expect("owned prefix")
-            .contiguous();
-        let diff = st_tensor::ops::sub(&pred_owned, &target).expect("same shape");
-        abs_sum += st_tensor::ops::abs(&diff)
-            .to_vec()
-            .iter()
-            .map(|&v| v as f64)
-            .sum::<f64>();
-        count += target.numel();
-    }
-    (abs_sum / count.max(1) as f64) as f32 * ds.scaler().std
-}
-
 fn build_model(
     ds: &IndexDataset,
     sig: &StaticGraphTemporalSignal,
@@ -278,6 +376,7 @@ fn build_model(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trainer::{Trainer, TrainerConfig};
     use st_data::datasets::{DatasetKind, DatasetSpec};
     use st_data::synthetic;
 
@@ -292,6 +391,38 @@ mod tests {
     fn corridor_signal() -> StaticGraphTemporalSignal {
         let net = st_graph::generators::highway_corridor(24, 1, 11);
         synthetic::traffic::generate(&net, 220, 288, 11)
+    }
+
+    /// The pre-engine reference: validation MAE restricted to the first
+    /// `owned` nodes, original units, computed directly with a Trainer-
+    /// trained model.
+    fn owned_val_mae(model: &PgtDcrnn, ds: &IndexDataset, owned: usize, batch: usize) -> f32 {
+        let ids: Vec<usize> = ds.splits().val.clone().collect();
+        if ids.is_empty() {
+            return f32::NAN;
+        }
+        let mut abs_sum = 0.0f64;
+        let mut count = 0usize;
+        for chunk in ids.chunks(batch.max(1)) {
+            let (x, y) = ds.batch(chunk);
+            let target: Tensor = y
+                .narrow(3, 0, 1)
+                .expect("output feature")
+                .narrow(2, 0, owned)
+                .expect("owned prefix")
+                .contiguous();
+            let tape = st_autograd::Tape::new();
+            let pred = model.forward(&tape, &x);
+            let pred_owned = pred
+                .value()
+                .narrow(2, 0, owned)
+                .expect("owned prefix")
+                .contiguous();
+            let diff = st_tensor::ops::sub(&pred_owned, &target).expect("same shape");
+            abs_sum += st_tensor::ops::sum_abs(&diff);
+            count += target.numel();
+        }
+        (abs_sum / count.max(1) as f64) as f32 * ds.scaler().std
     }
 
     #[test]

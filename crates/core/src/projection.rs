@@ -612,8 +612,10 @@ mod tests {
         // PCIe copies (§5.2): with infinite pageable bandwidth the two
         // single-GPU variants converge (up to the preprocessing delta and
         // the one consolidated transfer).
-        let mut p = ProjectionParams::default();
-        p.pcie_pageable_bw = f64::INFINITY;
+        let p = ProjectionParams {
+            pcie_pageable_bw: f64::INFINITY,
+            ..Default::default()
+        };
         let (index, gpu) = project_table4(&p, &pems(), 30);
         let pre_delta = p.pre_index_secs - p.pre_gpu_index_secs;
         assert!(

@@ -5,10 +5,9 @@
 //! the apples-to-apples setup behind Table 3 and Fig. 5. Validation MAE is
 //! reported in original (un-standardized) units, like the paper.
 
+use crate::engine::StepLoop;
 use crate::index_batching::IndexDataset;
-use st_autograd::loss;
-use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
-use st_autograd::Tape;
+use st_autograd::optim::{Adam, Optimizer};
 use st_data::loader::Batcher;
 use st_data::preprocess::PreprocessOutput;
 use st_data::scaler::StandardScaler;
@@ -245,6 +244,8 @@ impl Trainer {
     }
 
     /// One optimizer step on one batch; returns the (standardized) loss.
+    /// Drives the shared [`StepLoop`] — the same forward/backward/clip/
+    /// step primitives the distributed engine uses.
     pub fn train_step<M: Seq2Seq + ?Sized>(
         &self,
         model: &M,
@@ -252,20 +253,13 @@ impl Trainer {
         batch_ids: &[usize],
         opt: &mut dyn Optimizer,
     ) -> f32 {
+        let step = StepLoop {
+            grad_clip: self.cfg.grad_clip,
+        };
         let (x, y) = source.get_batch(batch_ids);
-        let target = y.narrow(3, 0, 1).expect("output feature").contiguous();
         opt.zero_grad();
-        let tape = Tape::new();
-        let pred = model.forward(&tape, &x);
-        let tgt = tape.constant(target);
-        let l = loss::mae(&pred, &tgt);
-        let value = l.value().item();
-        let grads = tape.backward(&l);
-        tape.accumulate_param_grads(&grads);
-        if let Some(clip) = self.cfg.grad_clip {
-            clip_grad_norm(&model.params(), clip);
-        }
-        opt.step();
+        let value = step.forward_backward(|tape| model.forward(tape, &x), &y);
+        step.clip_and_step(&model.params(), opt);
         value
     }
 
@@ -276,6 +270,9 @@ impl Trainer {
         source: &dyn BatchSource,
         range: std::ops::Range<usize>,
     ) -> f32 {
+        let step = StepLoop {
+            grad_clip: self.cfg.grad_clip,
+        };
         let ids: Vec<usize> = range.collect();
         if ids.is_empty() {
             return f32::NAN;
@@ -284,16 +281,9 @@ impl Trainer {
         let mut count = 0usize;
         for chunk in ids.chunks(self.cfg.batch_size) {
             let (x, y) = source.get_batch(chunk);
-            let target = y.narrow(3, 0, 1).expect("output feature").contiguous();
-            let tape = Tape::new();
-            let pred = model.forward(&tape, &x);
-            let diff = st_tensor::ops::sub(pred.value(), &target).expect("same shape");
-            abs_sum += st_tensor::ops::abs(&diff)
-                .to_vec()
-                .iter()
-                .map(|&v| v as f64)
-                .sum::<f64>();
-            count += target.numel();
+            let (a, c) = step.val_batch(|tape| model.forward(tape, &x), &y, |p, t| (p, t));
+            abs_sum += a;
+            count += c;
         }
         // Standardized MAE × σ = MAE in original units.
         (abs_sum / count.max(1) as f64) as f32 * source.scaler().std

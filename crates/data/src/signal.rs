@@ -85,7 +85,7 @@ mod tests {
 
     fn tiny_signal() -> StaticGraphTemporalSignal {
         let adj = Adjacency::from_dense(2, vec![1.0, 0.5, 0.5, 1.0]);
-        let data = Tensor::arange(2 * 2 * 1).reshape([2, 2, 1]).unwrap();
+        let data = Tensor::arange(2 * 2).reshape([2, 2, 1]).unwrap();
         StaticGraphTemporalSignal::new(data, adj)
     }
 

@@ -36,8 +36,8 @@ pub fn generate(
         let diurnal = 1.0 + 0.25 * (2.0 * std::f32::consts::PI * (t as f32 / period_f)).sin();
         regional_wind = 0.95 * regional_wind + 0.05 * 8.0 + rng.gen_range(-0.6..0.6);
         regional_wind = regional_wind.clamp(0.0, 25.0);
-        for i in 0..n {
-            let local = (regional_wind * diurnal * atten[i] + rng.gen_range(-0.8..0.8)).max(0.0);
+        for &atten_i in atten.iter().take(n) {
+            let local = (regional_wind * diurnal * atten_i + rng.gen_range(-0.8..0.8)).max(0.0);
             // Cubic power curve with cut-in (3 m/s) and rated (12 m/s) limits.
             let power = if local < 3.0 {
                 0.0

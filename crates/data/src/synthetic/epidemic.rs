@@ -38,10 +38,10 @@ pub fn generate(network: &SensorNetwork, entries: usize, seed: u64) -> StaticGra
         for i in 0..n {
             // Infection pressure: local + neighbor spillover.
             let mut pressure = infected[i];
-            for j in 0..n {
+            for (j, &infected_j) in infected.iter().enumerate().take(n) {
                 let w = adj.weight(i, j);
                 if w > 0.0 && j != i {
-                    pressure += 0.3 * w * infected[j];
+                    pressure += 0.3 * w * infected_j;
                 }
             }
             let frac_s = susceptible[i] / population[i];

@@ -43,7 +43,7 @@ pub fn generate(
         let diffused = p.spmm(&cong_t).expect("square transition");
         let mut next = diffused.to_vec();
         for c in next.iter_mut() {
-            *c = 0.9 * *c; // decay
+            *c *= 0.9; // decay
             if rng.gen_bool(0.01) {
                 *c += rng.gen_range(5.0..20.0); // incident shock
             }

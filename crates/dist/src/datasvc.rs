@@ -46,10 +46,12 @@ impl PartitionPolicy {
                 let boundary = rem * (base + 1);
                 if row < boundary {
                     row / (base + 1)
-                } else if base > 0 {
-                    rem + (row - boundary) / base
                 } else {
-                    world - 1 // more ranks than rows: tail rows pile on the last
+                    match (row - boundary).checked_div(base) {
+                        Some(q) => rem + q,
+                        // More ranks than rows: tail rows pile on the last.
+                        None => world - 1,
+                    }
                 }
             }
             PartitionPolicy::Strided => row % world,
@@ -200,7 +202,26 @@ impl DistributedArray {
 
     /// Read a contiguous row range (a partition plus its halo in the
     /// generalized mode): one modeled message per remote owner touched,
-    /// returning a zero-copy view of the backing tensor.
+    /// returning a zero-copy view plus the modeled seconds **without**
+    /// charging any clock — bytes land on the ledger immediately, but the
+    /// caller decides whether the time is paid synchronously or overlapped
+    /// with compute (the engine's setup prefetch).
+    pub fn fetch_range_quoted(
+        &self,
+        rank: usize,
+        range: Range<usize>,
+        cm: &CostModel,
+    ) -> (Tensor, f64) {
+        let secs = self.charge_owners(rank, range.clone(), cm);
+        let view = self
+            .data
+            .narrow(0, range.start, range.len())
+            .expect("range validated by charge_owners");
+        (view, secs)
+    }
+
+    /// Read a contiguous row range, charging the modeled fetch time to
+    /// `clock` synchronously.
     pub fn fetch_range(
         &self,
         rank: usize,
@@ -208,13 +229,11 @@ impl DistributedArray {
         cm: &CostModel,
         clock: &SimClock,
     ) -> Tensor {
-        let secs = self.charge_owners(rank, range.clone(), cm);
+        let (view, secs) = self.fetch_range_quoted(rank, range, cm);
         if secs > 0.0 {
             clock.advance_comm(secs);
         }
-        self.data
-            .narrow(0, range.start, range.len())
-            .expect("range validated by charge_owners")
+        view
     }
 }
 

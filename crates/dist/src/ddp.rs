@@ -65,7 +65,7 @@ impl DdpContext {
         for p in &self.params {
             match p.grad() {
                 Some(g) => bucket.extend_from_slice(&g.to_vec()),
-                None => bucket.extend(std::iter::repeat(0.0).take(p.numel())),
+                None => bucket.extend(std::iter::repeat_n(0.0, p.numel())),
             }
         }
         comm.all_reduce_mean(&mut bucket);

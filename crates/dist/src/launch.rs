@@ -18,14 +18,17 @@ use st_device::{CostModel, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
+/// One rank's posted payload: `(simulated now, payload)`.
+type Slot = Option<(f64, Vec<f32>)>;
+
 /// Shared state for one `run_workers` world: payload slots, a reusable
 /// barrier, the cost model, and the cross-rank traffic ledger.
 pub struct CommHub {
     world: usize,
     topology: ClusterTopology,
     cost: CostModel,
-    /// One payload slot per rank; `(simulated now, payload)`.
-    slots: Mutex<Vec<Option<(f64, Vec<f32>)>>>,
+    /// One payload slot per rank.
+    slots: Mutex<Vec<Slot>>,
     barrier: Barrier,
     /// Total collective payload bytes moved across all ranks.
     bytes: AtomicU64,
@@ -228,17 +231,11 @@ where
     R: Send,
 {
     assert!(world > 0, "world must be positive");
-    let hub = Arc::new(CommHub::new(world, topology));
     if world == 1 {
         // Fast path: no thread spawn for single-rank runs.
-        let clock = SimClock::new();
-        let comm = Comm {
-            rank: 0,
-            hub,
-            clock: clock.clone(),
-        };
-        return vec![f(WorkerCtx { comm, clock })];
+        return vec![run_single(topology, f)];
     }
+    let hub = Arc::new(CommHub::new(world, topology));
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..world)
             .map(|rank| {
@@ -260,6 +257,26 @@ where
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })
+}
+
+/// Run `f` as a one-rank world **on the calling thread**. Collectives are
+/// free no-ops, so this is the inline path for single-worker consumers
+/// that still speak the engine's `WorkerCtx` protocol — unlike
+/// [`run_workers`] it needs neither `Sync` on the closure nor `Send` on
+/// the result, so non-`Send` state (models hold `Rc` parameters) can be
+/// built inside and handed back.
+pub fn run_single<F, R>(topology: ClusterTopology, f: F) -> R
+where
+    F: FnOnce(WorkerCtx) -> R,
+{
+    let hub = Arc::new(CommHub::new(1, topology));
+    let clock = SimClock::new();
+    let comm = Comm {
+        rank: 0,
+        hub,
+        clock: clock.clone(),
+    };
+    f(WorkerCtx { comm, clock })
 }
 
 #[cfg(test)]
@@ -331,6 +348,18 @@ mod tests {
         assert_eq!(*buf, vec![2.0f32; 8]);
         assert_eq!(*secs, 0.0);
         assert_eq!(*bytes, 0);
+    }
+
+    #[test]
+    fn run_single_supports_non_send_results() {
+        // The inline path exists so single-rank callers can hand back
+        // non-Send state (e.g. Rc-parameterized models).
+        let out = run_single(ClusterTopology::polaris(), |mut ctx| {
+            let mut buf = vec![3.0f32; 2];
+            ctx.comm.all_reduce_mean(&mut buf);
+            std::rc::Rc::new((buf, ctx.rank()))
+        });
+        assert_eq!(*out, (vec![3.0, 3.0], 0));
     }
 
     #[test]

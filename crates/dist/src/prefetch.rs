@@ -1,54 +1,46 @@
-//! Double-buffered batch prefetching (§7 future work, ablated in
-//! `repro_ablation_prefetch`): issue the next batch's fetch, overlap its
-//! modeled time with compute, and charge only the *exposed* remainder when
-//! the consumer waits. Bytes on the [`DistributedArray`] ledger are
-//! identical to synchronous fetching — prefetching hides time, not traffic.
+//! Double-buffered fetch overlap (§7 future work, ablated in
+//! `repro_ablation_prefetch`): issue the next fetch's *quote* (payload plus
+//! modeled seconds), overlap those seconds with compute, and charge only
+//! the exposed remainder when the consumer waits. Ledger bytes are
+//! recorded at quote time by the data plane, so they are identical to
+//! synchronous fetching — prefetching hides time, not traffic.
+//!
+//! [`Prefetcher`] is generic over the in-flight payload so any data plane
+//! can use it: the training engine buffers whole `(x, y)` batches, while a
+//! raw [`DistributedArray`](crate::datasvc::DistributedArray) consumer can
+//! buffer row tensors quoted via `fetch_rows_quoted`.
 
-use crate::datasvc::DistributedArray;
-use st_device::{CostModel, SimClock};
-use st_tensor::Tensor;
-use std::sync::Arc;
+use st_device::SimClock;
 
-/// Double-buffers fetches from a set of parallel arrays (e.g. the x and y
-/// halves of a materialized dataset) for one rank.
-pub struct Prefetcher {
-    arrays: Vec<Arc<DistributedArray>>,
-    rank: usize,
-    cost: CostModel,
-    /// In-flight fetch: tensors (one per array, in `arrays` order) plus the
-    /// not-yet-hidden seconds of its modeled transfer time.
-    pending: Option<(Vec<Tensor>, f64)>,
+/// A depth-one double buffer over quoted fetches of payload type `T`.
+pub struct Prefetcher<T> {
+    /// In-flight fetch: the payload plus the not-yet-hidden seconds of its
+    /// modeled transfer time.
+    pending: Option<(T, f64)>,
 }
 
-impl Prefetcher {
-    /// A prefetcher for `rank` over `arrays` (fetches hit every array with
-    /// the same indices).
-    pub fn new(arrays: Vec<Arc<DistributedArray>>, rank: usize, cost: CostModel) -> Self {
-        Prefetcher {
-            arrays,
-            rank,
-            cost,
-            pending: None,
-        }
+impl<T> Default for Prefetcher<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Prefetcher<T> {
+    /// An empty prefetcher (nothing in flight).
+    pub fn new() -> Self {
+        Prefetcher { pending: None }
     }
 
-    /// Start fetching `indices` in the background. Ledger bytes are
-    /// recorded immediately (the traffic is real either way); the modeled
-    /// seconds are held back so compute can hide them via
-    /// [`Prefetcher::overlap`].
-    pub fn issue(&mut self, indices: &[usize]) {
+    /// Start an already-quoted fetch in the background: the payload exists
+    /// (the simulation assembles it eagerly and its bytes are already on
+    /// the data plane's ledger) but its `secs` of modeled transfer time are
+    /// held back so compute can hide them via [`Prefetcher::overlap`].
+    pub fn issue(&mut self, payload: T, secs: f64) {
         assert!(
             self.pending.is_none(),
             "double-buffer depth is one: wait() first"
         );
-        let mut tensors = Vec::with_capacity(self.arrays.len());
-        let mut secs = 0.0;
-        for array in &self.arrays {
-            let (t, s) = array.fetch_rows_quoted(self.rank, indices, &self.cost);
-            tensors.push(t);
-            secs += s;
-        }
-        self.pending = Some((tensors, secs));
+        self.pending = Some((payload, secs));
     }
 
     /// Credit `secs` of concurrent compute against the in-flight fetch —
@@ -59,21 +51,30 @@ impl Prefetcher {
         }
     }
 
+    /// Whether a fetch is in flight.
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
     /// Block on the in-flight fetch: charge whatever time compute did not
-    /// hide, and hand back the tensors (in the order `arrays` were given).
-    pub fn wait(&mut self, clock: &SimClock) -> Vec<Tensor> {
-        let (tensors, exposed) = self.pending.take().expect("no fetch in flight");
+    /// hide, and hand back the payload.
+    pub fn wait(&mut self, clock: &SimClock) -> T {
+        let (payload, exposed) = self.pending.take().expect("no fetch in flight");
         if exposed > 0.0 {
             clock.advance_comm(exposed);
         }
-        tensors
+        payload
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::datasvc::DistributedArray;
     use crate::topology::ClusterTopology;
+    use st_device::CostModel;
+    use st_tensor::Tensor;
+    use std::sync::Arc;
 
     fn array(rows: usize) -> Arc<DistributedArray> {
         let t = Tensor::from_vec((0..rows * 2).map(|v| v as f32).collect(), [rows, 2]).unwrap();
@@ -85,11 +86,13 @@ mod tests {
         let a = array(16);
         let cm = CostModel::polaris();
         let clock = SimClock::new();
-        let mut pf = Prefetcher::new(vec![a.clone()], 0, cm);
-        pf.issue(&[12, 13]); // remote rows
+        let mut pf = Prefetcher::new();
+        let (t, secs) = a.fetch_rows_quoted(0, &[12, 13], &cm); // remote rows
+        assert!(secs > 0.0);
+        pf.issue(t, secs);
         pf.overlap(10.0); // plenty of compute
         let out = pf.wait(&clock);
-        assert_eq!(out.len(), 1);
+        assert_eq!(out.dims(), &[2, 2]);
         assert_eq!(clock.comm_secs(), 0.0, "fully hidden");
         assert!(a.remote_bytes() > 0, "bytes still on the ledger");
     }
@@ -104,8 +107,9 @@ mod tests {
         assert!(sync_secs > 0.0);
 
         let clock = SimClock::new();
-        let mut pf = Prefetcher::new(vec![a], 0, cm);
-        pf.issue(&[12, 13]);
+        let mut pf = Prefetcher::new();
+        let (t, secs) = a.fetch_rows_quoted(0, &[12, 13], &cm);
+        pf.issue(t, secs);
         pf.overlap(sync_secs / 2.0);
         pf.wait(&clock);
         let exposed = clock.comm_secs();
@@ -116,16 +120,21 @@ mod tests {
     }
 
     #[test]
-    fn wait_returns_tensors_in_array_order() {
+    fn payloads_are_generic_over_fetch_type() {
+        // The engine's use: buffer a whole (x, y) pair as one payload.
         let x = array(8);
         let y = array(8);
         let cm = CostModel::polaris();
         let clock = SimClock::new();
-        let mut pf = Prefetcher::new(vec![x, y], 0, cm);
-        pf.issue(&[0, 1]);
-        let mut out = pf.wait(&clock);
-        assert_eq!(out.len(), 2);
-        let _y = out.pop().unwrap();
-        let _x = out.pop().unwrap();
+        let mut pf = Prefetcher::new();
+        let (xb, xs) = x.fetch_rows_quoted(0, &[0, 1], &cm);
+        let (yb, ys) = y.fetch_rows_quoted(0, &[0, 1], &cm);
+        assert!(!pf.in_flight());
+        pf.issue((xb, yb), xs + ys);
+        assert!(pf.in_flight());
+        let (xb, yb) = pf.wait(&clock);
+        assert_eq!(xb.dims(), &[2, 2]);
+        assert_eq!(yb.dims(), &[2, 2]);
+        assert!(!pf.in_flight());
     }
 }

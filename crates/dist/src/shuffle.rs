@@ -58,17 +58,18 @@ fn seeded_perm(n: usize, key: u64) -> Vec<usize> {
 
 /// Global shared-seed shuffle: permute `0..n` with a key derived from
 /// `(seed, epoch)` — identical on every rank — and return rank `rank`'s
-/// stripe of exactly `n / world` indices. (The `n % world` leftovers are
-/// dropped, as in a drop-last distributed sampler, so every rank runs the
-/// same number of optimizer steps.)
+/// stripe. Stripes are ragged: the first `n % world` ranks take one extra
+/// index (via [`contiguous_partition`] over the permutation), so **every**
+/// sample is visited each epoch. Ranks disagree on stripe length by at
+/// most one; [`common_rounds`] gives the per-step collective count they
+/// must all agree on.
 pub fn global_stripe(n: usize, world: usize, rank: usize, seed: u64, epoch: u64) -> Vec<usize> {
     assert!(
         world > 0 && rank < world,
         "rank {rank} outside world {world}"
     );
-    let per = n / world;
     let perm = seeded_perm(n, mix_key(seed, u64::MAX, epoch));
-    perm[rank * per..(rank + 1) * per].to_vec()
+    perm[contiguous_partition(n, world, rank)].to_vec()
 }
 
 /// Permute `ids` with a key derived from `(seed, rank, epoch)`.
@@ -136,22 +137,47 @@ mod tests {
     #[test]
     fn global_stripe_is_a_disjoint_exhaustive_permutation() {
         // The paper's correctness claim for communication-free shuffling:
-        // across ranks, stripes are disjoint and cover the (drop-last)
-        // sample set — together they are a permutation.
+        // across ranks, stripes are disjoint and cover the whole sample
+        // set — together they are a permutation of 0..n, with no dropped
+        // tail even when world does not divide n.
         for n in [12usize, 97, 256] {
             for world in [1usize, 2, 3, 5, 8] {
                 let stripes: Vec<Vec<usize>> = (0..world)
                     .map(|r| global_stripe(n, world, r, 42, 7))
                     .collect();
-                let per = n / world;
-                for s in &stripes {
-                    assert_eq!(s.len(), per, "equal stripes at n={n} world={world}");
+                for (r, s) in stripes.iter().enumerate() {
+                    assert_eq!(
+                        s.len(),
+                        contiguous_partition(n, world, r).len(),
+                        "ragged stripe at n={n} world={world} rank={r}"
+                    );
                 }
                 let union = disjoint_union(&stripes);
-                assert_eq!(union.len(), per * world);
+                assert_eq!(union.len(), n, "no index dropped at n={n} world={world}");
                 assert!(union.iter().all(|&i| i < n));
             }
         }
+    }
+
+    #[test]
+    fn global_stripe_visits_every_train_id_each_epoch_for_non_divisible_n() {
+        // Regression: the old implementation dropped the n % world
+        // permutation tail every epoch, so those samples were never
+        // trained on. Ragged stripes must cover all of 0..n per epoch.
+        let (n, world) = (123usize, 4usize); // 123 % 4 = 3 leftovers
+        for epoch in 0..3u64 {
+            let union = disjoint_union(
+                &(0..world)
+                    .map(|r| global_stripe(n, world, r, 7, epoch))
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(union.len(), n, "epoch {epoch} dropped indices");
+        }
+        // And the extra elements land on the first n % world ranks.
+        let lens: Vec<usize> = (0..world)
+            .map(|r| global_stripe(n, world, r, 7, 0).len())
+            .collect();
+        assert_eq!(lens, vec![31, 31, 31, 30]);
     }
 
     #[test]
@@ -183,13 +209,12 @@ mod tests {
         // first half of world=1's full order.
         let n = 120;
         let full = global_stripe(n, 1, 0, 1234, 3);
-        for world in [2usize, 3, 4, 6] {
-            let per = n / world;
+        for world in [2usize, 3, 4, 6, 7] {
             for rank in 0..world {
                 let stripe = global_stripe(n, world, rank, 1234, 3);
                 assert_eq!(
                     stripe,
-                    full[rank * per..(rank + 1) * per].to_vec(),
+                    full[contiguous_partition(n, world, rank)].to_vec(),
                     "world={world} rank={rank} must slice the shared order"
                 );
             }

@@ -207,10 +207,10 @@ impl Csr {
     pub fn scale_rows(&self, s: &[f32]) -> Csr {
         assert_eq!(s.len(), self.rows);
         let mut out = self.clone();
-        for r in 0..self.rows {
+        for (r, &scale) in s.iter().enumerate() {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             for v in &mut out.values[lo..hi] {
-                *v *= s[r];
+                *v *= scale;
             }
         }
         out

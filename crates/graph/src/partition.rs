@@ -268,10 +268,10 @@ impl Subgraph {
 fn undirected_neighbors(adj: &Adjacency) -> Vec<Vec<usize>> {
     let n = adj.num_nodes();
     let mut out = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, neighbors) in out.iter_mut().enumerate() {
         for j in 0..n {
             if i != j && (adj.weight(i, j) > 0.0 || adj.weight(j, i) > 0.0) {
-                out[i].push(j);
+                neighbors.push(j);
             }
         }
     }
@@ -353,6 +353,44 @@ pub fn induced_subgraph(adj: &Adjacency, nodes: &[usize]) -> Adjacency {
         }
     }
     Adjacency::from_dense(m, weights)
+}
+
+/// Recursive coordinate bisection helper: assign `ids` to `k` parts
+/// starting at part id `base`, splitting along the widest axis.
+fn rcb(coords: &[(f32, f32)], ids: &mut [usize], k: usize, base: usize, assignment: &mut [usize]) {
+    if k == 1 {
+        for &i in ids.iter() {
+            assignment[i] = base;
+        }
+        return;
+    }
+    // Widest axis of this subset.
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    );
+    for &i in ids.iter() {
+        let (x, y) = coords[i];
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let by_x = (max_x - min_x) >= (max_y - min_y);
+    ids.sort_unstable_by(|&a, &b| {
+        let ka = if by_x { coords[a].0 } else { coords[a].1 };
+        let kb = if by_x { coords[b].0 } else { coords[b].1 };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    // Split proportionally so odd part counts stay balanced.
+    let cut = ids.len() * k_left / k;
+    let (left, right) = ids.split_at_mut(cut);
+    rcb(coords, left, k_left, base, assignment);
+    rcb(coords, right, k_right, base + k_left, assignment);
 }
 
 #[cfg(test)]
@@ -474,42 +512,4 @@ mod tests {
     fn out_of_range_assignment_panics() {
         Partitioning::from_assignment(vec![0, 2], 2);
     }
-}
-
-/// Recursive coordinate bisection helper: assign `ids` to `k` parts
-/// starting at part id `base`, splitting along the widest axis.
-fn rcb(coords: &[(f32, f32)], ids: &mut [usize], k: usize, base: usize, assignment: &mut [usize]) {
-    if k == 1 {
-        for &i in ids.iter() {
-            assignment[i] = base;
-        }
-        return;
-    }
-    // Widest axis of this subset.
-    let (mut min_x, mut max_x, mut min_y, mut max_y) = (
-        f32::INFINITY,
-        f32::NEG_INFINITY,
-        f32::INFINITY,
-        f32::NEG_INFINITY,
-    );
-    for &i in ids.iter() {
-        let (x, y) = coords[i];
-        min_x = min_x.min(x);
-        max_x = max_x.max(x);
-        min_y = min_y.min(y);
-        max_y = max_y.max(y);
-    }
-    let by_x = (max_x - min_x) >= (max_y - min_y);
-    ids.sort_unstable_by(|&a, &b| {
-        let ka = if by_x { coords[a].0 } else { coords[a].1 };
-        let kb = if by_x { coords[b].0 } else { coords[b].1 };
-        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let k_left = k / 2;
-    let k_right = k - k_left;
-    // Split proportionally so odd part counts stay balanced.
-    let cut = ids.len() * k_left / k;
-    let (left, right) = ids.split_at_mut(cut);
-    rcb(coords, left, k_left, base, assignment);
-    rcb(coords, right, k_right, base + k_left, assignment);
 }

@@ -62,6 +62,16 @@ pub trait Seq2Seq: Module {
     /// Forward pass: `x` is `[B, T, N, F]`, the result is `[B, T, N, out]`.
     fn forward(&self, tape: &Tape, x: &Tensor) -> Var;
 
+    /// Forward pass over a **dynamic** graph: one diffusion-support set per
+    /// input step (§7 "dynamic graphs with temporal signal"). Models whose
+    /// topology is baked in ignore the per-step supports and fall back to
+    /// the static [`Seq2Seq::forward`]; DCRNN-family models override this
+    /// to swap diffusion operators per step while sharing gate weights.
+    fn forward_dynamic(&self, tape: &Tape, x: &Tensor, per_step: &[&[crate::Support]]) -> Var {
+        let _ = per_step;
+        self.forward(tape, x)
+    }
+
     /// Stable display name.
     fn name(&self) -> &'static str;
 

@@ -61,9 +61,9 @@ impl PgtDcrnn {
         let w = tape.param(&self.out_w);
         let bias = tape.param(&self.out_b);
         let mut outputs: Vec<Var> = Vec::with_capacity(t);
-        for step in 0..t {
+        for (step, step_supports) in per_step.iter().enumerate().take(t) {
             let xt = tape.constant(x.select(1, step).expect("step in range").contiguous());
-            h = self.cell.step_with(tape, per_step[step], &xt, &h);
+            h = self.cell.step_with(tape, step_supports, &xt, &h);
             let out = ops::add(&ops::bmm(&h, &w), &bias); // [B, N, out]
             outputs.push(out);
         }
@@ -99,6 +99,10 @@ impl Seq2Seq for PgtDcrnn {
         let refs: Vec<&Var> = outputs.iter().collect();
         let stacked = ops::stack0(&refs); // [T, B, N, out]
         ops::permute(&stacked, &[1, 0, 2, 3])
+    }
+
+    fn forward_dynamic(&self, tape: &Tape, x: &Tensor, per_step: &[&[Support]]) -> Var {
+        PgtDcrnn::forward_dynamic(self, tape, x, per_step)
     }
 
     fn name(&self) -> &'static str {

@@ -28,7 +28,7 @@ pub fn relu(t: &Tensor) -> Tensor {
 /// GELU (tanh approximation), used by the transformer blocks.
 pub fn gelu(t: &Tensor) -> Tensor {
     map(t, |x| {
-        0.5 * x * (1.0 + (0.7978845608 * (x + 0.044715 * x * x * x)).tanh())
+        0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044715 * x * x * x)).tanh())
     })
 }
 

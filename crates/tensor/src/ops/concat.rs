@@ -85,7 +85,7 @@ pub fn stack0(tensors: &[&Tensor]) -> Result<Tensor> {
 
 /// Split a tensor into `n` equal chunks along `dim` (dim size must divide).
 pub fn chunk(t: &Tensor, n: usize, dim: usize) -> Result<Vec<Tensor>> {
-    if n == 0 || dim >= t.rank() || t.dim(dim) % n != 0 {
+    if n == 0 || dim >= t.rank() || !t.dim(dim).is_multiple_of(n) {
         return Err(TensorError::Invalid {
             op: "chunk",
             msg: format!("cannot split dim {dim} of {:?} into {n} chunks", t.dims()),

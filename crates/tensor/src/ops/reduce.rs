@@ -1,6 +1,7 @@
 //! Reductions: sum / mean / max / min / std, full and per-axis.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sum of all elements.
 pub fn sum_all(t: &Tensor) -> f32 {
@@ -25,6 +26,36 @@ pub fn max_all(t: &Tensor) -> f32 {
 /// Minimum element.
 pub fn min_all(t: &Tensor) -> f32 {
     t.to_vec().into_iter().fold(f32::INFINITY, f32::min)
+}
+
+/// Elements per [`sum_abs`] partial; fixed (rather than derived from the
+/// thread count) so the f64 accumulation order — and therefore the result
+/// bit pattern — is identical no matter how many threads run the chunks.
+const SUM_ABS_CHUNK: usize = 1 << 16;
+
+/// Fused Σ|tᵢ| accumulated in f64 — the validation-path reduction.
+///
+/// Replaces the `abs(t).to_vec().iter().sum()` pattern, which materializes
+/// an |t|-sized tensor plus a Vec copy per batch; this walks the data once
+/// with no allocation beyond the per-chunk partials. Parallel via
+/// [`par::parallel_chunks`] over fixed-size chunks whose partials are
+/// combined in chunk order.
+pub fn sum_abs(t: &Tensor) -> f64 {
+    let src = t.contiguous();
+    let s = src.as_slice().expect("contiguous");
+    let chunks = s.len().div_ceil(SUM_ABS_CHUNK).max(1);
+    let partials: Vec<AtomicU64> = (0..chunks).map(|_| AtomicU64::new(0)).collect();
+    par::parallel_chunks(chunks, s.len(), |_, lo, hi| {
+        for c in lo..hi {
+            let span = &s[c * SUM_ABS_CHUNK..((c + 1) * SUM_ABS_CHUNK).min(s.len())];
+            let acc: f64 = span.iter().map(|&v| (v as f64).abs()).sum();
+            partials[c].store(acc.to_bits(), Ordering::Relaxed);
+        }
+    });
+    partials
+        .iter()
+        .map(|p| f64::from_bits(p.load(Ordering::Relaxed)))
+        .sum()
 }
 
 /// Population standard deviation of all elements.
@@ -118,6 +149,27 @@ mod tests {
         assert_eq!(min_all(&t), 1.0);
         let std = std_all(&t);
         assert!((std - 1.118034).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_abs_matches_scalar_path_and_handles_views() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(sum_abs(&t), 10.0);
+        // Empty tensors sum to zero.
+        assert_eq!(sum_abs(&Tensor::from_vec(vec![], [0]).unwrap()), 0.0);
+        // Non-contiguous views are handled via a contiguous copy.
+        let m = Tensor::from_vec(vec![1.0, -1.0, 2.0, -2.0], [2, 2]).unwrap();
+        assert_eq!(sum_abs(&m.t().unwrap()), 6.0);
+        // Large input exercises the parallel chunked path and must agree
+        // bit-for-bit with the sequential reference accumulation.
+        let n = (super::SUM_ABS_CHUNK * 3) + 17;
+        let vals: Vec<f32> = (0..n).map(|i| ((i % 255) as f32 - 127.0) * 0.37).collect();
+        let big = Tensor::from_vec(vals.clone(), [n]).unwrap();
+        let reference: f64 = vals
+            .chunks(super::SUM_ABS_CHUNK)
+            .map(|c| c.iter().map(|&v| (v as f64).abs()).sum::<f64>())
+            .sum();
+        assert_eq!(sum_abs(&big), reference);
     }
 
     #[test]

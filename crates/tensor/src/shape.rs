@@ -57,7 +57,7 @@ impl Shape {
     pub fn broadcast_with(&self, other: &Shape) -> Result<Shape> {
         let rank = self.rank().max(other.rank());
         let mut dims = vec![0usize; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let a = if i < rank - self.rank() {
                 1
             } else {
@@ -69,7 +69,7 @@ impl Shape {
                 other.0[i - (rank - other.rank())]
             };
             if a == b || a == 1 || b == 1 {
-                dims[i] = a.max(b);
+                *dim = a.max(b);
             } else {
                 return Err(TensorError::ShapeMismatch {
                     op: "broadcast",

@@ -174,6 +174,61 @@ fn straggler_noise_never_leaks_into_numerics() {
 }
 
 #[test]
+fn distributed_checkpoint_resume_is_bit_identical() {
+    // The distributed extension of the single-worker
+    // `checkpoint_resume_reproduces_uninterrupted_run`: a 2-rank engine
+    // run interrupted at epoch 2 and resumed must match an uninterrupted
+    // 4-epoch run exactly — same final parameters and Adam moments (the
+    // captured checkpoints are byte-identical) and the same per-epoch
+    // stats for the resumed tail. This requires every rank to restore the
+    // same state and to replay the epoch-keyed shuffles from the right
+    // epoch.
+    use pgt_i::core::dist_index::LocalCopyPlane;
+    use pgt_i::core::engine::{self, EngineOptions};
+
+    let (spec, sig) = setup();
+    let factory = pgt_dcrnn_factory(&sig, spec.horizon, 8, 42);
+    let run = |epochs: usize, opts: &EngineOptions| {
+        let mut cfg = DistConfig::new(2, epochs, spec.horizon);
+        cfg.batch_per_worker = 4;
+        engine::run(
+            &cfg,
+            opts,
+            |rank, _cm| LocalCopyPlane::new(&sig, &cfg, rank),
+            |plane: &LocalCopyPlane| factory(plane.dataset()),
+        )
+    };
+    let capture = EngineOptions {
+        resume: None,
+        capture_checkpoint: true,
+    };
+    let straight = run(4, &capture);
+    let interrupted = run(2, &capture);
+    let resumed = run(
+        4,
+        &EngineOptions {
+            resume: Some(interrupted.checkpoint.clone().expect("rank-0 checkpoint")),
+            capture_checkpoint: true,
+        },
+    );
+    assert_eq!(
+        straight.checkpoint, resumed.checkpoint,
+        "resumed model + optimizer state must be byte-identical"
+    );
+    // The resumed run reports exactly the tail epochs of the straight run.
+    assert_eq!(resumed.epochs.len(), 2);
+    for (r, s) in resumed.epochs.iter().zip(&straight.epochs[2..]) {
+        assert_eq!(r.epoch, s.epoch);
+        assert_eq!(r.train_loss.to_bits(), s.train_loss.to_bits());
+        assert_eq!(r.val_mae.to_bits(), s.val_mae.to_bits());
+    }
+    // And the first segment reproduced the straight run's head.
+    for (i, s) in interrupted.epochs.iter().zip(&straight.epochs[..2]) {
+        assert_eq!(i.train_loss.to_bits(), s.train_loss.to_bits());
+    }
+}
+
+#[test]
 fn prefetch_and_policies_compose_with_training() {
     // End-to-end: baseline DDP with prefetching still reaches the same
     // accuracy as the synchronous baseline (bytes identical, time hidden).
