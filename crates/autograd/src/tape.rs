@@ -14,13 +14,26 @@ struct Node {
     shape: Shape,
 }
 
-#[derive(Default)]
 struct TapeInner {
     nodes: Vec<Node>,
     /// Parameters bound to this tape: (param, leaf node id). Binding the
     /// same parameter twice returns the same leaf, so recurrent cells that
     /// reuse weights at every time step accumulate one combined gradient.
     params: Vec<(crate::module::Param, usize)>,
+    /// When false ([`Tape::inference`]), nothing is recorded: backward
+    /// closures are dropped on arrival and no node (hence no retained
+    /// activation) is created. Forward values are identical either way.
+    grad_enabled: bool,
+}
+
+impl Default for TapeInner {
+    fn default() -> Self {
+        TapeInner {
+            nodes: Vec::new(),
+            params: Vec::new(),
+            grad_enabled: true,
+        }
+    }
 }
 
 /// A per-thread autograd tape. Clones share the same recording.
@@ -41,6 +54,22 @@ impl Tape {
     /// Fresh, empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// A **non-recording** tape for forward-only (inference) passes: every
+    /// op computes its forward value exactly as usual, but no graph node is
+    /// created and no backward closure (or the activations it captures) is
+    /// retained — [`Tape::activation_bytes`] stays 0 no matter how deep the
+    /// model. Calling [`Tape::backward`] on an inference tape panics.
+    pub fn inference() -> Self {
+        let tape = Tape::default();
+        tape.inner.borrow_mut().grad_enabled = false;
+        tape
+    }
+
+    /// False when this tape was created with [`Tape::inference`].
+    pub fn grad_enabled(&self) -> bool {
+        self.inner.borrow().grad_enabled
     }
 
     /// Number of recorded nodes (useful for tests and leak checks).
@@ -85,6 +114,10 @@ impl Tape {
     /// After [`Tape::backward`], call [`Tape::accumulate_param_grads`] to
     /// push gradients into every bound parameter.
     pub fn param(&self, p: &crate::module::Param) -> Var {
+        if !self.inner.borrow().grad_enabled {
+            // No gradients will flow: the parameter is just a constant.
+            return self.leaf(p.value());
+        }
         let key = p.key();
         {
             let inner = self.inner.borrow();
@@ -126,6 +159,15 @@ impl Tape {
         backward: Option<BackwardFn>,
     ) -> Var {
         let mut inner = self.inner.borrow_mut();
+        if !inner.grad_enabled {
+            // Inference mode: drop the closure, retain nothing. Node ids
+            // are meaningless here (backward is forbidden), so 0 is fine.
+            return Var {
+                id: 0,
+                value,
+                tape: self.clone(),
+            };
+        }
         let id = inner.nodes.len();
         inner.nodes.push(Node {
             parents,
@@ -165,6 +207,10 @@ impl Tape {
         assert!(
             Rc::ptr_eq(&root.tape.inner, &self.inner),
             "backward: root recorded on another tape"
+        );
+        assert!(
+            self.inner.borrow().grad_enabled,
+            "backward: inference tapes record no graph"
         );
         let inner = self.inner.borrow();
         let mut grads: Vec<Option<Tensor>> = vec![None; inner.nodes.len()];
@@ -296,6 +342,41 @@ mod tests {
         let s = ops::sum_all(&y);
         let g = tape.backward(&s);
         assert_eq!(g.get(&x).unwrap().to_vec(), vec![10.0]);
+    }
+
+    #[test]
+    fn inference_tape_computes_identical_values_without_recording() {
+        let run = |tape: &Tape| {
+            let x = tape.leaf(Tensor::from_slice(&[1.0, 3.0]));
+            ops::sum_all(&ops::square(&ops::mul_scalar(&x, 2.0)))
+                .value()
+                .item()
+        };
+        let train = Tape::new();
+        let infer = Tape::inference();
+        assert_eq!(run(&train).to_bits(), run(&infer).to_bits());
+        assert!(train.activation_bytes(4) > 0);
+        assert_eq!(infer.activation_bytes(4), 0, "inference retains nothing");
+        assert!(infer.is_empty());
+        assert!(!infer.grad_enabled());
+    }
+
+    #[test]
+    fn inference_tape_treats_params_as_constants() {
+        let p = crate::module::Param::new("w", Tensor::from_slice(&[2.0]));
+        let tape = Tape::inference();
+        let w = tape.param(&p);
+        assert_eq!(w.value().to_vec(), vec![2.0]);
+        assert!(tape.is_empty(), "param binding must not record");
+    }
+
+    #[test]
+    #[should_panic(expected = "inference tapes record no graph")]
+    fn backward_on_inference_tape_is_loud() {
+        let tape = Tape::inference();
+        let x = tape.leaf(Tensor::from_slice(&[1.0]));
+        let y = ops::mul_scalar(&x, 2.0);
+        tape.backward(&y);
     }
 
     #[test]

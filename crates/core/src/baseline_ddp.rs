@@ -180,7 +180,7 @@ where
             DataSvcPlane::new(
                 x.clone(),
                 y.clone(),
-                scaler,
+                scaler.clone(),
                 splits.clone(),
                 cfg,
                 rank,

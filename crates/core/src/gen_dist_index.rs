@@ -144,6 +144,7 @@ impl HaloEntryPlane {
         rank: usize,
         cost: &st_device::CostModel,
     ) -> Self {
+        let scaler_std = scaler.std;
         let (part, setup_secs) = build_partition(
             &shared,
             scaler,
@@ -169,7 +170,7 @@ impl HaloEntryPlane {
         HaloEntryPlane {
             part,
             shared,
-            scaler_std: scaler.std,
+            scaler_std,
             rounds,
             batch: cfg.batch_per_worker,
             seed: cfg.seed,
@@ -256,7 +257,7 @@ where
     };
     let full = IndexDataset::from_signal(sig, cfg.horizon, SplitRatios::default(), None);
     let (nodes, features) = (full.num_nodes(), full.num_features());
-    let scaler = *full.scaler();
+    let scaler = full.scaler().clone();
     let split = full.splits().clone();
     let entries = full
         .data()
@@ -270,7 +271,7 @@ where
         |rank, cm| {
             HaloEntryPlane::new(
                 shared.clone(),
-                scaler,
+                scaler.clone(),
                 nodes,
                 features,
                 &split,
@@ -334,7 +335,7 @@ mod tests {
         for rank in 0..3 {
             let (part, _) = build_partition(
                 &shared,
-                *full.scaler(),
+                full.scaler().clone(),
                 full.num_nodes(),
                 full.num_features(),
                 spec.horizon,

@@ -119,8 +119,18 @@ impl Comm {
         all
     }
 
-    /// Charge modeled time and ledger bytes for a ring all-reduce of
-    /// `payload_elems` f32 per rank.
+    /// Record `bytes` on the shared traffic ledger. Rank 0 posts the whole
+    /// collective's volume **before** the payload exchange, so the exchange
+    /// barriers order the write ahead of any rank's post-collective
+    /// `bytes_moved` read (posting after the exchange raced those reads).
+    fn ledger_collective(&self, bytes: u64) {
+        if self.rank == 0 {
+            self.hub.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge modeled time for a ring all-reduce of `payload_elems` f32 per
+    /// rank.
     fn charge_allreduce(&self, payload_elems: usize) {
         let world = self.hub.world;
         if world == 1 {
@@ -132,12 +142,15 @@ impl Comm {
             .cost
             .allreduce(bytes, world, self.hub.topology.gpus_per_node);
         self.clock.advance_comm(secs);
-        // Ledger once per collective: rank 0 records the total ring volume.
-        if self.rank == 0 {
-            self.hub
-                .bytes
-                .fetch_add(2 * (world as u64 - 1) * bytes, Ordering::Relaxed);
+    }
+
+    /// Ring all-reduce ledger volume for `payload_elems` f32 per rank.
+    fn allreduce_ledger_bytes(&self, payload_elems: usize) -> u64 {
+        let world = self.hub.world as u64;
+        if world == 1 {
+            return 0;
         }
+        2 * (world - 1) * (payload_elems * 4) as u64
     }
 
     /// Element-wise mean across ranks, in place. Deterministic: the sum is
@@ -153,6 +166,7 @@ impl Comm {
     /// Element-wise sum across ranks, in place.
     pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
         let n = buf.len();
+        self.ledger_collective(self.allreduce_ledger_bytes(n));
         let all = self.exchange(buf.to_vec());
         buf.fill(0.0);
         for contribution in &all {
@@ -166,6 +180,7 @@ impl Comm {
 
     /// Gather one scalar from every rank, in rank order.
     pub fn all_gather_scalar(&mut self, v: f32) -> Vec<f32> {
+        self.ledger_collective(self.allreduce_ledger_bytes(1));
         let all = self.exchange(vec![v]);
         self.charge_allreduce(1);
         all.into_iter().map(|p| p[0]).collect()
@@ -178,19 +193,15 @@ impl Comm {
             return;
         }
         let n = buf.len();
+        let bytes = (n * 4) as u64;
+        // Tree broadcast: everyone receives one copy from upstream.
+        self.ledger_collective((world as u64 - 1) * bytes);
         let all = self.exchange(buf.to_vec());
         assert_eq!(all[0].len(), n, "broadcast length mismatch");
         buf.copy_from_slice(&all[0]);
-        // Tree broadcast: everyone receives one copy from upstream.
-        let bytes = (n * 4) as u64;
         let hops = (world as f64).log2().ceil();
         let secs = hops * (self.hub.cost.network_latency + bytes as f64 / self.hub.cost.network_bw);
         self.clock.advance_comm(secs);
-        if self.rank == 0 {
-            self.hub
-                .bytes
-                .fetch_add((world as u64 - 1) * bytes, Ordering::Relaxed);
-        }
     }
 
     /// Barrier: rendezvous and synchronize simulated clocks.

@@ -72,6 +72,16 @@ pub trait Seq2Seq: Module {
         self.forward(tape, x)
     }
 
+    /// Forward pass **without autograd**: runs the same computation as
+    /// [`Seq2Seq::forward`] on a non-recording [`Tape::inference`], so no
+    /// graph node or backward closure is allocated and no activation is
+    /// retained. Values are bit-identical to the training-tape forward —
+    /// the property the serving layer's snapshot round-trip tests pin.
+    fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let tape = Tape::inference();
+        self.forward(&tape, x).value().clone()
+    }
+
     /// Stable display name.
     fn name(&self) -> &'static str;
 

@@ -75,6 +75,10 @@ pub fn evaluate(pred: &Tensor, target: &Tensor, cfg: &MetricConfig) -> Metrics {
     let mut sq_sum = 0.0f64;
     let mut pct_sum = 0.0f64;
     let mut n = 0usize;
+    // MAPE excludes near-zero targets (the relative error is undefined
+    // there), so it needs its own denominator: dividing `pct_sum` by `n`
+    // would bias MAPE low whenever small targets survive the null mask.
+    let mut pct_n = 0usize;
     for (&pi, &ti) in p.iter().zip(t.iter()) {
         let t_orig = ti * cfg.scale + cfg.offset;
         if let Some(null) = cfg.null_value {
@@ -88,6 +92,7 @@ pub fn evaluate(pred: &Tensor, target: &Tensor, cfg: &MetricConfig) -> Metrics {
         sq_sum += err * err;
         if t_orig.abs() > cfg.eps {
             pct_sum += (err / t_orig as f64).abs();
+            pct_n += 1;
         }
         n += 1;
     }
@@ -95,7 +100,7 @@ pub fn evaluate(pred: &Tensor, target: &Tensor, cfg: &MetricConfig) -> Metrics {
     Metrics {
         mae: (abs_sum / denom) as f32,
         rmse: (sq_sum / denom).sqrt() as f32,
-        mape: (pct_sum / denom) as f32,
+        mape: (pct_sum / pct_n.max(1) as f64) as f32,
         counted: n,
     }
 }
@@ -197,6 +202,21 @@ mod tests {
         let m = evaluate(&pred, &target, &cfg);
         assert_eq!(m.counted, 2, "the 0.0 reading must be masked");
         assert!((m.mae - 1.5).abs() < 1e-6); // (1 + 2)/2
+    }
+
+    #[test]
+    fn near_zero_targets_do_not_deflate_mape() {
+        // Target 1e-6 is within eps of zero: it counts for MAE/RMSE but is
+        // excluded from the relative error. MAPE must divide by the number
+        // of readings that actually contributed (2), not all counted (3).
+        let pred = Tensor::from_slice(&[1.5, 3.0, 0.5]);
+        let target = Tensor::from_slice(&[1.0, 2.0, 1e-6]);
+        let m = evaluate(&pred, &target, &MetricConfig::default());
+        assert_eq!(m.counted, 3);
+        // |e/t| = 0.5, 0.5 over TWO contributing readings → 0.5, not 1/3.
+        assert!((m.mape - 0.5).abs() < 1e-6, "mape = {}", m.mape);
+        // MAE still pools all three readings.
+        assert!((m.mae - (0.5 + 1.0 + 0.5 - 1e-6) / 3.0).abs() < 1e-6);
     }
 
     #[test]

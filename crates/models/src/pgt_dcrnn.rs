@@ -264,6 +264,26 @@ mod tests {
     }
 
     #[test]
+    fn forward_inference_is_bit_identical_and_tape_free() {
+        let m = model(6, 4);
+        let x = st_tensor::random::uniform(
+            [3, 4, 6, 1],
+            -1.0,
+            1.0,
+            &mut st_tensor::random::rng_from_seed(17),
+        );
+        let tape = Tape::new();
+        let trained_path = m.forward(&tape, &x);
+        let served_path = m.forward_inference(&x);
+        assert_eq!(
+            trained_path.value().to_vec(),
+            served_path.to_vec(),
+            "inference forward must match the training forward bitwise"
+        );
+        assert!(tape.activation_bytes(4) > 0, "training tape records");
+    }
+
+    #[test]
     fn flops_scale_with_horizon() {
         let short = model(6, 2);
         let long = model(6, 8);

@@ -1,0 +1,39 @@
+//! # st-serve
+//!
+//! Forward-only batched inference on top of trained PGT-I artifacts — the
+//! deployment half the training crates never had. The design transplants
+//! the paper's two load-bearing ideas to serving:
+//!
+//! - **Index-batching at inference time** ([`window::RollingWindow`]): a
+//!   deployed forecaster holds *one* rolling `[E, N, F]` signal buffer and
+//!   answers every window query as a zero-copy, index-addressed view —
+//!   exactly the `IndexDataset` trick (§4.1), applied to a live stream
+//!   instead of a training set.
+//! - **Static partition-parallel execution** ([`shard::BatchedServer`]):
+//!   the graph is partitioned once and each shard statically owns its
+//!   nodes' queries (DistTGL's serving-side lesson: never repartition per
+//!   query). Shards run concurrently under `st_dist::run_workers`, with
+//!   halo reads for non-owned signal rows charged to a traffic ledger.
+//!
+//! Between the two sits [`queue::coalesce`], a micro-batching request
+//! queue: concurrent forecast requests are coalesced into batched
+//! **tape-free** forward passes ([`st_models::Seq2Seq::forward_inference`],
+//! which allocates no autograd graph) under a `max_batch` / `max_delay`
+//! policy, so per-batch fixed costs amortize across requests.
+//!
+//! [`snapshot::ModelSnapshot`] is the handoff format: trained parameters
+//! (the engine's checkpoint state-dict), the `ModelConfig`, the fitted
+//! `StandardScaler`, and split metadata in one versioned, checksummed file.
+//! The round-trip contract — snapshot, load, serve — is bit-identical to
+//! the trainer's own evaluation forward pass, and the integration tests
+//! pin exactly that.
+
+pub mod queue;
+pub mod shard;
+pub mod snapshot;
+pub mod window;
+
+pub use queue::{coalesce, MicroBatch, PendingRequest, QueueConfig};
+pub use shard::{BatchedServer, Query, QueryResult, ServeConfig, ServeReport};
+pub use snapshot::{ModelSnapshot, SnapshotError};
+pub use window::RollingWindow;

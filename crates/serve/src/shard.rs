@@ -1,0 +1,533 @@
+//! Partition-parallel batched serving.
+//!
+//! DistTGL's serving-side lesson, transplanted: partition the graph **once**
+//! and let each shard statically own its nodes' queries — never repartition
+//! per request. [`BatchedServer`] routes every [`Query`] to the shard that
+//! owns its node ([`st_graph::Partitioning::part_of`]), and the shards run
+//! concurrently under [`st_dist::run_workers`], each draining its own
+//! micro-batch schedule ([`crate::queue::coalesce`]).
+//!
+//! Every shard restores the **same** full-model replica from the
+//! [`ModelSnapshot`] (restored replicas are bit-identical — the snapshot
+//! tests pin it), so a served forecast is bitwise the value the trainer's
+//! own evaluation forward would produce, no matter which shard computed it.
+//! What a shard does *not* own is the signal: the rows of each request
+//! window belonging to other shards' nodes are halo reads, charged to the
+//! traffic ledger in bytes and to the simulated clock via
+//! [`st_device::CostModel::remote_fetch`] — the same
+//! physically-local-but-modeled-remote idiom the training data planes use.
+//!
+//! Time is simulated, numerics are real: arrival times drive the
+//! micro-batch schedule and the per-shard busy chain (a batch starts at
+//! `max(dispatch, previous completion)`), producing modeled p50/p99
+//! latencies and throughput, while the forwards themselves are real
+//! tape-free computations ([`st_models::Seq2Seq::forward_inference`]).
+
+use crate::queue::{coalesce, PendingRequest, QueueConfig};
+use crate::snapshot::ModelSnapshot;
+use crate::window::RollingWindow;
+use st_dist::launch::run_workers;
+use st_dist::topology::ClusterTopology;
+use st_graph::{Adjacency, Partitioning};
+use st_models::{PgtDcrnn, Seq2Seq};
+use st_tensor::Tensor;
+
+/// Serving deployment knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of partition-parallel shards.
+    pub shards: usize,
+    /// Micro-batching policy each shard's queue runs.
+    pub queue: QueueConfig,
+    /// Ring capacity of the rolling signal buffer (maximum window reach).
+    pub capacity: usize,
+    /// Cluster topology the shards are modeled on.
+    pub topology: ClusterTopology,
+}
+
+impl ServeConfig {
+    /// A deployment of `shards` shards with default queue and a
+    /// `capacity`-deep rolling buffer.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        ServeConfig {
+            shards,
+            queue: QueueConfig::default(),
+            capacity,
+            topology: ClusterTopology::polaris(),
+        }
+    }
+}
+
+/// One forecast request: "what happens at `node` after stream time
+/// `window_end`?"
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// Caller-side request id (echoed back on the result).
+    pub id: usize,
+    /// The node whose forecast is requested; decides the owning shard.
+    pub node: usize,
+    /// Input window end, exclusive stream time (the window is the
+    /// `horizon` most recent readings before it).
+    pub window_end: usize,
+    /// Modeled arrival time, seconds.
+    pub arrival_secs: f64,
+}
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The caller-side id from the [`Query`].
+    pub id: usize,
+    /// The queried node.
+    pub node: usize,
+    /// The shard that served it.
+    pub shard: usize,
+    /// The input window end served.
+    pub window_end: usize,
+    /// Standardized target-channel forecast, one value per horizon step —
+    /// bitwise the trainer-side forward's output for this window/node.
+    pub forecast_std: Vec<f32>,
+    /// The forecast in original units (scaler-inverted target channel).
+    pub forecast: Vec<f32>,
+    /// Modeled completion − arrival.
+    pub latency_secs: f64,
+    /// Distinct windows in the micro-batch that served this query.
+    pub batch_windows: usize,
+}
+
+/// Per-shard serving statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Nodes this shard owns.
+    pub owned_nodes: usize,
+    /// Requests routed here.
+    pub requests: usize,
+    /// Micro-batches dispatched.
+    pub batches: usize,
+    /// Halo-read bytes charged to the ledger.
+    pub halo_bytes: u64,
+    /// Modeled forward-compute seconds.
+    pub compute_secs: f64,
+    /// Modeled halo-fetch seconds.
+    pub comm_secs: f64,
+    /// Completion time of this shard's last batch (0 when idle).
+    pub finish_secs: f64,
+}
+
+/// Outcome of one [`BatchedServer::serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// All answered queries, in submission order (the position each query
+    /// held in the `serve` input slice).
+    pub results: Vec<QueryResult>,
+    /// Per-shard statistics.
+    pub shards: Vec<ShardStats>,
+    /// Median modeled latency, seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile modeled latency, seconds.
+    pub p99_latency_secs: f64,
+    /// Modeled makespan: the last completion across shards.
+    pub makespan_secs: f64,
+    /// Requests served per modeled second.
+    pub requests_per_sec: f64,
+    /// Total halo-read bytes across shards (the data-plane ledger).
+    pub halo_bytes: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A snapshot-backed, partition-parallel batched inference server.
+///
+/// Holds the deployment's static state — the trained [`ModelSnapshot`],
+/// the graph and its one-time [`Partitioning`], and the rolling signal
+/// buffer. [`BatchedServer::serve`] is the request path.
+pub struct BatchedServer {
+    snapshot: ModelSnapshot,
+    adjacency: Adjacency,
+    partitioning: Partitioning,
+    window: RollingWindow,
+    cfg: ServeConfig,
+}
+
+impl BatchedServer {
+    /// Deploy a snapshot over `adjacency` with an empty signal buffer.
+    /// The graph is partitioned once, here (greedy BFS region growing);
+    /// queries are routed against this static assignment forever after.
+    pub fn new(snapshot: ModelSnapshot, adjacency: Adjacency, cfg: ServeConfig) -> Self {
+        assert!(cfg.shards >= 1, "need at least one shard");
+        assert_eq!(
+            snapshot.config.num_nodes,
+            adjacency.num_nodes(),
+            "snapshot was trained on a different graph"
+        );
+        assert!(
+            cfg.capacity >= snapshot.config.horizon,
+            "ring capacity {} cannot hold a horizon-{} window",
+            cfg.capacity,
+            snapshot.config.horizon
+        );
+        let partitioning = Partitioning::greedy_bfs(&adjacency, cfg.shards);
+        let window = RollingWindow::new(
+            cfg.capacity,
+            snapshot.config.num_nodes,
+            snapshot.config.input_dim,
+            snapshot.scaler.clone(),
+        );
+        BatchedServer {
+            snapshot,
+            adjacency,
+            partitioning,
+            window,
+            cfg,
+        }
+    }
+
+    /// Deploy with the buffer pre-seeded from an **already-standardized**
+    /// `[E, N, F]` history (e.g. the training `IndexDataset`'s single
+    /// copy), so served windows are bit-identical to training windows.
+    pub fn with_history(
+        snapshot: ModelSnapshot,
+        adjacency: Adjacency,
+        history: &Tensor,
+        cfg: ServeConfig,
+    ) -> Self {
+        let mut server = BatchedServer::new(snapshot, adjacency, cfg);
+        server.window = RollingWindow::from_standardized_history(
+            history,
+            server.cfg.capacity,
+            server.snapshot.scaler.clone(),
+        );
+        server
+    }
+
+    /// Admit one reading in original units (`[N, F]`); it is standardized
+    /// with the snapshot's scaler on entry.
+    pub fn admit(&mut self, reading: &Tensor) {
+        self.window.admit(reading);
+    }
+
+    /// The rolling signal buffer.
+    pub fn window(&self) -> &RollingWindow {
+        &self.window
+    }
+
+    /// The deployed snapshot.
+    pub fn snapshot(&self) -> &ModelSnapshot {
+        &self.snapshot
+    }
+
+    /// The static query-routing partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The shard that owns `node`'s queries.
+    pub fn owner_of(&self, node: usize) -> usize {
+        self.partitioning.part_of(node)
+    }
+
+    /// Restore the served model replica from the snapshot. Expensive (full
+    /// parameter restore + diffusion-support construction): build once and
+    /// reuse across [`BatchedServer::predict_windows_with`] calls.
+    pub fn build_model(&self) -> PgtDcrnn {
+        self.snapshot
+            .build_pgt_dcrnn(&self.adjacency)
+            .expect("snapshot matches its own config")
+    }
+
+    /// Tape-free batched forward over the buffered windows ending at
+    /// `ends`: returns the standardized `[B, horizon, N, 1]` prediction —
+    /// bitwise what the trainer's evaluation forward produces on the same
+    /// windows. The single-shard reference path the round-trip tests pin.
+    /// Convenience wrapper that rebuilds the replica each call; loops
+    /// should [`BatchedServer::build_model`] once and use
+    /// [`BatchedServer::predict_windows_with`].
+    pub fn predict_windows(&self, ends: &[usize]) -> Tensor {
+        self.predict_windows_with(&self.build_model(), ends)
+    }
+
+    /// [`BatchedServer::predict_windows`] against a replica built earlier
+    /// with [`BatchedServer::build_model`].
+    pub fn predict_windows_with(&self, model: &PgtDcrnn, ends: &[usize]) -> Tensor {
+        let x = self.window.batch(ends, self.snapshot.config.horizon);
+        model.forward_inference(&x)
+    }
+
+    /// Serve a stream of queries (sorted by arrival): route each to its
+    /// owning shard, coalesce per-shard micro-batches, and run the batched
+    /// tape-free forwards concurrently across shards.
+    pub fn serve(&self, queries: &[Query]) -> ServeReport {
+        let horizon = self.snapshot.config.horizon;
+        let nodes = self.snapshot.config.num_nodes;
+        let features = self.snapshot.config.input_dim;
+        for q in queries {
+            assert!(
+                q.node < nodes,
+                "query {} names node {} of {nodes}",
+                q.id,
+                q.node
+            );
+        }
+
+        // Static routing: shard r sees only its owned nodes' requests, in
+        // arrival order (`PendingRequest::id` is the index into `queries`).
+        let routed: Vec<Vec<PendingRequest>> = {
+            let mut routed = vec![Vec::new(); self.cfg.shards];
+            for (idx, q) in queries.iter().enumerate() {
+                routed[self.owner_of(q.node)].push(PendingRequest {
+                    id: idx,
+                    arrival_secs: q.arrival_secs,
+                    window_end: q.window_end,
+                });
+            }
+            routed
+        };
+
+        let per_shard = run_workers(self.cfg.shards, self.cfg.topology, |ctx| {
+            let shard = ctx.rank();
+            let cost = ctx.comm.hub().cost_model().clone();
+            // Every shard restores the same bit-identical replica.
+            let model = self
+                .snapshot
+                .build_pgt_dcrnn(&self.adjacency)
+                .expect("snapshot matches its own config");
+            let owned = self.partitioning.part_nodes(shard).len();
+            let halo_row_bytes = (horizon * (nodes - owned) * features * 4) as u64;
+
+            let mut results = Vec::with_capacity(routed[shard].len());
+            let mut stats = ShardStats {
+                shard,
+                owned_nodes: owned,
+                requests: routed[shard].len(),
+                batches: 0,
+                halo_bytes: 0,
+                compute_secs: 0.0,
+                comm_secs: 0.0,
+                finish_secs: 0.0,
+            };
+            // The busy chain: a batch starts when it dispatches AND the
+            // previous batch has finished.
+            let mut busy = 0.0f64;
+            for batch in coalesce(&routed[shard], &self.cfg.queue) {
+                // Halo exchange: the non-owned rows of each distinct
+                // window, on the ledger and the clock.
+                let halo_bytes = batch.windows.len() as u64 * halo_row_bytes;
+                let fetch_secs = if halo_bytes > 0 {
+                    cost.remote_fetch(halo_bytes, false)
+                } else {
+                    0.0
+                };
+                let x = self.window.batch(&batch.windows, horizon);
+                let pred = model.forward_inference(&x);
+                let compute_secs = model.flops_per_forward(batch.windows.len()) / cost.gpu_flops;
+                let start = busy.max(batch.dispatch_secs);
+                let done = start + fetch_secs + compute_secs;
+                busy = done;
+                ctx.clock.advance_comm(fetch_secs);
+                ctx.clock.advance_compute(compute_secs);
+                stats.batches += 1;
+                stats.halo_bytes += halo_bytes;
+                stats.finish_secs = done;
+                for (&idx, &slot) in batch.requests.iter().zip(&batch.window_of) {
+                    let q = &queries[idx];
+                    let forecast_std: Vec<f32> = (0..horizon)
+                        .map(|t| pred.at(&[slot, t, q.node, 0]))
+                        .collect();
+                    let forecast = forecast_std
+                        .iter()
+                        .map(|&v| self.snapshot.scaler.inverse_scalar(v))
+                        .collect();
+                    results.push((
+                        idx,
+                        QueryResult {
+                            id: q.id,
+                            node: q.node,
+                            shard,
+                            window_end: q.window_end,
+                            forecast_std,
+                            forecast,
+                            latency_secs: done - q.arrival_secs,
+                            batch_windows: batch.windows.len(),
+                        },
+                    ));
+                }
+            }
+            stats.compute_secs = ctx.clock.compute_secs();
+            stats.comm_secs = ctx.clock.comm_secs();
+            (results, stats)
+        });
+
+        let mut indexed = Vec::with_capacity(queries.len());
+        let mut shards = Vec::with_capacity(self.cfg.shards);
+        for (r, s) in per_shard {
+            indexed.extend(r);
+            shards.push(s);
+        }
+        // Submission order (the internal routing index), not the
+        // caller-side id — ids need not be unique or monotone.
+        indexed.sort_by_key(|(idx, _)| *idx);
+        let results: Vec<QueryResult> = indexed.into_iter().map(|(_, r)| r).collect();
+        let mut latencies: Vec<f64> = results.iter().map(|r| r.latency_secs).collect();
+        latencies.sort_by(f64::total_cmp);
+        let makespan = shards.iter().map(|s| s.finish_secs).fold(0.0, f64::max);
+        ServeReport {
+            p50_latency_secs: percentile(&latencies, 0.5),
+            p99_latency_secs: percentile(&latencies, 0.99),
+            makespan_secs: makespan,
+            requests_per_sec: if makespan > 0.0 {
+                results.len() as f64 / makespan
+            } else {
+                0.0
+            },
+            halo_bytes: shards.iter().map(|s| s.halo_bytes).sum(),
+            results,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autograd::Module;
+    use st_data::scaler::StandardScaler;
+    use st_models::{ModelConfig, PgtDcrnn, Support};
+
+    fn deployment(shards: usize) -> (BatchedServer, Tensor) {
+        let net = st_graph::generators::highway_corridor(8, 1, 5);
+        let cfg = ModelConfig {
+            input_dim: 1,
+            output_dim: 1,
+            hidden: 4,
+            num_nodes: 8,
+            horizon: 3,
+            diffusion_steps: 2,
+            layers: 1,
+        };
+        let supports = Support::wrap_all(st_graph::diffusion_supports(&net.adjacency, 2));
+        let trained = PgtDcrnn::new(cfg.clone(), &supports, 7);
+        let snap =
+            ModelSnapshot::capture(cfg, StandardScaler::identity(), None, &trained.params(), 1);
+        let history = Tensor::arange(20 * 8).reshape([20, 8, 1]).unwrap();
+        let server = BatchedServer::with_history(
+            snap,
+            net.adjacency.clone(),
+            &history,
+            ServeConfig::new(shards, 20),
+        );
+        (server, history)
+    }
+
+    fn burst(n: usize, nodes: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| Query {
+                id: 100 + i,
+                node: i % nodes,
+                window_end: 10 + (i % 8),
+                arrival_secs: i as f64 * 1e-6,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_results_match_the_single_shard_reference() {
+        let queries = burst(24, 8);
+        let (single, _) = deployment(1);
+        let (sharded, _) = deployment(2);
+        let a = single.serve(&queries);
+        let b = sharded.serve(&queries);
+        assert_eq!(a.results.len(), 24);
+        assert_eq!(b.results.len(), 24);
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.id, rb.id);
+            // Bit-identical replicas + identical windows ⇒ identical
+            // forecasts, regardless of shard count or batch grouping.
+            for (va, vb) in ra.forecast_std.iter().zip(&rb.forecast_std) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn served_forecasts_match_predict_windows() {
+        let (server, _) = deployment(2);
+        let queries = burst(16, 8);
+        let report = server.serve(&queries);
+        let model = server.build_model();
+        for r in &report.results {
+            let pred = server.predict_windows_with(&model, &[r.window_end]);
+            for (t, &v) in r.forecast_std.iter().enumerate() {
+                assert_eq!(v.to_bits(), pred.at(&[0, t, r.node, 0]).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_halo_traffic() {
+        let (server, _) = deployment(1);
+        let report = server.serve(&burst(8, 8));
+        assert_eq!(report.halo_bytes, 0, "one shard owns every row");
+        assert!(report.p50_latency_secs > 0.0);
+        assert!(report.p99_latency_secs >= report.p50_latency_secs);
+    }
+
+    #[test]
+    fn sharding_charges_halo_reads_and_routes_by_owner() {
+        let (server, _) = deployment(2);
+        let queries = burst(16, 8);
+        let report = server.serve(&queries);
+        assert!(report.halo_bytes > 0, "2 shards must exchange halo rows");
+        for r in &report.results {
+            assert_eq!(r.shard, server.owner_of(r.node), "static routing");
+        }
+        let total: usize = report.shards.iter().map(|s| s.requests).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn original_units_apply_the_scaler() {
+        let (mut server, _) = deployment(1);
+        // Swap in a non-trivial scaler and re-admit standardized history.
+        let scaler = StandardScaler::from_feature_stats(vec![(50.0, 5.0)]);
+        server.snapshot.scaler = scaler.clone();
+        let report = server.serve(&burst(4, 8));
+        for r in &report.results {
+            for (std, orig) in r.forecast_std.iter().zip(&r.forecast) {
+                assert_eq!(orig.to_bits(), (std * 5.0 + 50.0).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_respect_the_busy_chain() {
+        // One shard, queue of 1: every request is its own batch, so each
+        // completion waits for the previous one — latencies must be
+        // non-decreasing for a burst arriving (almost) together.
+        let (server, _) = deployment(1);
+        let mut cfgd = server.cfg.clone();
+        cfgd.queue = QueueConfig {
+            max_batch: 1,
+            max_delay_secs: 0.0,
+        };
+        let server = BatchedServer {
+            cfg: cfgd,
+            ..server
+        };
+        let queries = burst(6, 8);
+        let report = server.serve(&queries);
+        for pair in report.results.windows(2) {
+            assert!(
+                pair[1].latency_secs >= pair[0].latency_secs - 1e-5,
+                "queueing delay accumulates across a burst"
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The rolling index window: index-batching for a live stream.
+//!
+//! Training-side index-batching (§4.1) keeps **one** standardized signal
+//! copy and reconstructs every sliding-window sample as a zero-copy view.
+//! [`RollingWindow`] is the inference analogue: one `[capacity, N, F]` ring
+//! of the most recent readings, where any in-buffer request window is
+//! served as an index-addressed `narrow` view — no per-query window
+//! materialization, ever.
+//!
+//! The ring stores each admitted row **twice**, at slots `t % cap` and
+//! `t % cap + cap` of a `[2·cap, N, F]` tensor. That doubling makes every
+//! window of length `h ≤ cap` a *contiguous* row run regardless of where
+//! the ring's write head sits, which is what keeps window reads zero-copy
+//! (a wrap-around window in a single-copy ring would need a gather).
+
+use st_data::scaler::StandardScaler;
+use st_tensor::Tensor;
+
+/// A rolling, standardized `[E, N, F]` signal buffer with zero-copy window
+/// views.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    /// `[2·cap, N, F]`; row `t` lives at `t % cap` and `t % cap + cap`.
+    buf: Tensor,
+    cap: usize,
+    nodes: usize,
+    features: usize,
+    /// Total readings admitted since construction (monotonic stream time).
+    admitted: usize,
+    scaler: StandardScaler,
+}
+
+impl RollingWindow {
+    /// An empty buffer holding up to `capacity` readings of `[nodes,
+    /// features]` each, standardized on admission with `scaler`.
+    pub fn new(capacity: usize, nodes: usize, features: usize, scaler: StandardScaler) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RollingWindow {
+            buf: Tensor::zeros([2 * capacity, nodes, features]),
+            cap: capacity,
+            nodes,
+            features,
+            admitted: 0,
+            scaler,
+        }
+    }
+
+    /// Seed a buffer from an **already-standardized** `[E, N, F]` history
+    /// (e.g. an `IndexDataset`'s single copy): every row is admitted in
+    /// order, so subsequent windows are bit-identical to training windows.
+    pub fn from_standardized_history(
+        history: &Tensor,
+        capacity: usize,
+        scaler: StandardScaler,
+    ) -> Self {
+        assert_eq!(history.rank(), 3, "history must be [E, N, F]");
+        let mut w = RollingWindow::new(capacity, history.dim(1), history.dim(2), scaler);
+        let rows = history.contiguous();
+        let src = rows.as_slice().expect("contiguous");
+        let row = w.nodes * w.features;
+        for t in 0..history.dim(0) {
+            w.admit_standardized(&src[t * row..(t + 1) * row]);
+        }
+        w
+    }
+
+    /// Admit one reading in **original units**, `[nodes, features]`; it is
+    /// standardized with the fitted scaler before entering the ring.
+    pub fn admit(&mut self, reading: &Tensor) {
+        assert_eq!(
+            reading.dims(),
+            &[self.nodes, self.features],
+            "reading must be [nodes, features]"
+        );
+        let std = self.scaler.transform(reading).contiguous();
+        self.admit_standardized(std.as_slice().expect("contiguous"));
+    }
+
+    /// Admit one already-standardized reading (row-major `nodes × features`
+    /// scalars).
+    pub fn admit_standardized(&mut self, row: &[f32]) {
+        let stride = self.nodes * self.features;
+        assert_eq!(row.len(), stride, "row must be nodes × features scalars");
+        let slot = self.admitted % self.cap;
+        let buf = self.buf.make_mut_contiguous();
+        buf[slot * stride..(slot + 1) * stride].copy_from_slice(row);
+        let hi = (slot + self.cap) * stride;
+        buf[hi..hi + stride].copy_from_slice(row);
+        self.admitted += 1;
+    }
+
+    /// Total readings admitted so far (stream time).
+    pub fn len(&self) -> usize {
+        self.admitted
+    }
+
+    /// True before any reading has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.admitted == 0
+    }
+
+    /// Ring capacity (maximum window reach into the past).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Feature count.
+    pub fn num_features(&self) -> usize {
+        self.features
+    }
+
+    /// The admission scaler.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// True when the window `[end − h, end)` is still fully buffered.
+    pub fn contains_window(&self, end: usize, h: usize) -> bool {
+        h >= 1
+            && h <= self.cap
+            && end >= h
+            && end <= self.admitted
+            && end - h + self.cap >= self.admitted
+    }
+
+    /// The standardized window `[end − h, end)` as a **zero-copy**
+    /// `[h, N, F]` view of the ring. `end` is exclusive stream time;
+    /// panics if the window was evicted or never admitted.
+    pub fn window(&self, end: usize, h: usize) -> Tensor {
+        assert!(
+            self.contains_window(end, h),
+            "window [{}, {end}) not buffered (admitted {}, capacity {})",
+            end.saturating_sub(h),
+            self.admitted,
+            self.cap
+        );
+        let start = (end - h) % self.cap;
+        self.buf.narrow(0, start, h).expect("doubled ring in range")
+    }
+
+    /// Assemble `[B, h, N, F]` from window end times — the serving twin of
+    /// `IndexDataset::batch` (one contiguous memcpy per window).
+    pub fn batch(&self, ends: &[usize], h: usize) -> Tensor {
+        let stride = self.nodes * self.features;
+        let mut out = Vec::with_capacity(ends.len() * h * stride);
+        let src = self.buf.as_slice().expect("ring is contiguous");
+        for &end in ends {
+            assert!(
+                self.contains_window(end, h),
+                "window ending at {end} not buffered"
+            );
+            let start = ((end - h) % self.cap) * stride;
+            out.extend_from_slice(&src[start..start + h * stride]);
+        }
+        Tensor::from_vec(out, [ends.len(), h, self.nodes, self.features]).expect("batch numel")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arange_rows(e: usize, n: usize, f: usize) -> Tensor {
+        Tensor::arange(e * n * f).reshape([e, n, f]).unwrap()
+    }
+
+    #[test]
+    fn windows_match_source_rows_across_wraparound() {
+        let hist = arange_rows(50, 3, 2);
+        let w = RollingWindow::from_standardized_history(&hist, 16, StandardScaler::identity());
+        assert_eq!(w.len(), 50);
+        // Any window within the last 16 rows reproduces the source exactly,
+        // including ones that straddle the ring's wrap point.
+        for end in [50usize, 47, 40, 50 - 16 + 4] {
+            let h = 4;
+            let got = w.window(end, h);
+            let want = hist.narrow(0, end - h, h).unwrap();
+            assert_eq!(got.to_vec(), want.to_vec(), "window ending at {end}");
+        }
+    }
+
+    #[test]
+    fn window_views_are_zero_copy() {
+        let hist = arange_rows(20, 2, 1);
+        let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
+        let v = w.window(20, 5);
+        assert!(v.shares_storage(&w.buf), "window must alias the ring");
+        let v2 = w.window(17, 3);
+        assert!(v2.shares_storage(&v));
+    }
+
+    #[test]
+    fn batch_matches_individual_windows() {
+        let hist = arange_rows(30, 2, 2);
+        let w = RollingWindow::from_standardized_history(&hist, 12, StandardScaler::identity());
+        let ends = [30usize, 25, 22];
+        let b = w.batch(&ends, 3);
+        assert_eq!(b.dims(), &[3, 3, 2, 2]);
+        for (row, &end) in ends.iter().enumerate() {
+            assert_eq!(
+                b.select(0, row).unwrap().to_vec(),
+                w.window(end, 3).to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn admission_standardizes_with_the_scaler() {
+        let scaler = StandardScaler::from_feature_stats(vec![(10.0, 2.0)]);
+        let mut w = RollingWindow::new(4, 2, 1, scaler);
+        w.admit(&Tensor::from_vec(vec![12.0, 8.0], [2, 1]).unwrap());
+        let v = w.window(1, 1);
+        assert_eq!(v.to_vec(), vec![1.0, -1.0]); // (x - 10) / 2
+    }
+
+    #[test]
+    #[should_panic(expected = "not buffered")]
+    fn evicted_windows_are_rejected() {
+        let hist = arange_rows(20, 1, 1);
+        let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
+        // Rows [2, 6) fell out of the 8-row ring long ago.
+        w.window(6, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not buffered")]
+    fn future_windows_are_rejected() {
+        let hist = arange_rows(10, 1, 1);
+        let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
+        w.window(11, 4);
+    }
+
+    #[test]
+    fn contains_window_boundaries() {
+        let hist = arange_rows(20, 1, 1);
+        let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
+        assert!(w.contains_window(20, 8)); // the full ring
+        assert!(w.contains_window(13, 1)); // oldest surviving row
+        assert!(!w.contains_window(12, 1)); // just evicted
+        assert!(!w.contains_window(20, 9)); // longer than capacity
+        assert!(!w.contains_window(3, 4)); // end < h
+    }
+}

@@ -12,17 +12,34 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Number of worker threads to use for data-parallel loops.
+///
+/// Honors an `ST_NUM_THREADS` environment variable override (read once,
+/// then cached) so latency-sensitive consumers — the serving benchmarks in
+/// particular — can pin the thread count; otherwise defaults to the
+/// machine's available parallelism.
 pub fn num_threads() -> usize {
     static CACHED: AtomicUsize = AtomicUsize::new(0);
     let n = CACHED.load(Ordering::Relaxed);
     if n != 0 {
         return n;
     }
-    let n = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let n = thread_count_override(std::env::var("ST_NUM_THREADS").ok().as_deref()).unwrap_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        },
+    );
     CACHED.store(n, Ordering::Relaxed);
     n
+}
+
+/// Parse a thread-count override: a positive integer means "use exactly
+/// this many threads"; anything else (unset, empty, zero, garbage) means
+/// "no override".
+fn thread_count_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// Run `f(chunk_index, start, end)` over `[0, len)` split into roughly equal
@@ -111,6 +128,18 @@ mod tests {
             hit.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn env_override_parsing() {
+        // The first num_threads() call may already have cached a value in
+        // this process, so the override logic is pinned on the pure parser.
+        assert_eq!(thread_count_override(Some("4")), Some(4));
+        assert_eq!(thread_count_override(Some(" 2 ")), Some(2));
+        assert_eq!(thread_count_override(Some("0")), None, "0 is no override");
+        assert_eq!(thread_count_override(Some("lots")), None);
+        assert_eq!(thread_count_override(Some("")), None);
+        assert_eq!(thread_count_override(None), None);
     }
 
     #[test]

@@ -13,4 +13,5 @@ pub use st_dist as dist;
 pub use st_graph as graph;
 pub use st_models as models;
 pub use st_report as report;
+pub use st_serve as serve;
 pub use st_tensor as tensor;
