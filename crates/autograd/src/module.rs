@@ -63,6 +63,13 @@ impl Param {
         Rc::as_ptr(&self.inner) as usize
     }
 
+    /// Whether `other` is a handle to the same underlying parameter
+    /// (identity, not value equality). Gradient bucketing uses this to
+    /// match a bucket's members against a tape's completion sequence.
+    pub fn same_param(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Accumulate a raw gradient tensor into `.grad`.
     pub(crate) fn accumulate_raw(&self, g: &Tensor) {
         let mut inner = self.inner.borrow_mut();

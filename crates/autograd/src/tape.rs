@@ -201,8 +201,33 @@ impl Tape {
         self.record(value, ids, Some(Box::new(backward)))
     }
 
+    /// Parameters bound to this tape in **gradient-completion order**: the
+    /// order their gradients finalize during [`Tape::backward`]. The
+    /// reverse scan visits node ids descending, and a node's gradient is
+    /// complete once every consumer (a higher id) has been processed — so
+    /// parameter leaves complete in descending bind order. This is the
+    /// sequence DDP-style bucketing wants: buckets of late-bound (deep)
+    /// parameters fire early in the backward pass, overlapping their
+    /// collective with the gradient computation still running for the
+    /// early-bound (shallow) ones.
+    pub fn param_completion_order(&self) -> Vec<crate::module::Param> {
+        let inner = self.inner.borrow();
+        let mut by_id: Vec<(usize, crate::module::Param)> = inner
+            .params
+            .iter()
+            .map(|(p, id)| (*id, p.clone()))
+            .collect();
+        by_id.sort_by_key(|&(id, _)| std::cmp::Reverse(id));
+        by_id.into_iter().map(|(_, p)| p).collect()
+    }
+
     /// Run reverse-mode differentiation from `root` (a scalar, typically a
     /// loss). Returns per-node gradients.
+    ///
+    /// Gradients finalize in descending node-id order (the reverse scan
+    /// below); [`Tape::param_completion_order`] exposes that sequence for
+    /// the bound parameters so gradient buckets can fire as soon as their
+    /// last member completes rather than after the whole backward.
     pub fn backward(&self, root: &Var) -> Gradients {
         assert!(
             Rc::ptr_eq(&root.tape.inner, &self.inner),
@@ -377,6 +402,25 @@ mod tests {
         let x = tape.leaf(Tensor::from_slice(&[1.0]));
         let y = ops::mul_scalar(&x, 2.0);
         tape.backward(&y);
+    }
+
+    #[test]
+    fn params_complete_in_reverse_bind_order() {
+        let a = crate::module::Param::new("a", Tensor::from_slice(&[1.0]));
+        let b = crate::module::Param::new("b", Tensor::from_slice(&[2.0]));
+        let tape = Tape::new();
+        let va = tape.param(&a);
+        let vb = tape.param(&b);
+        let y = ops::sum_all(&ops::add(&va, &vb));
+        let _ = tape.backward(&y);
+        let order = tape.param_completion_order();
+        assert_eq!(order.len(), 2);
+        // b bound last ⇒ its grad finalizes first in the reverse scan.
+        assert_eq!(order[0].name(), "b");
+        assert_eq!(order[1].name(), "a");
+        // Re-binding is idempotent: the order is stable.
+        let _ = tape.param(&a);
+        assert_eq!(tape.param_completion_order().len(), 2);
     }
 
     #[test]

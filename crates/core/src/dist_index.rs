@@ -49,6 +49,14 @@ pub struct DistConfig {
     /// the generalized mode's one-time halo read alike. A no-op for
     /// local planes (dist-index has no data plane to hide).
     pub prefetch: bool,
+    /// Byte cap for the pipelined step engine's gradient buckets.
+    /// `Some(cap)`: gradients all-reduce in deterministic byte-capped
+    /// buckets ordered by gradient completion, each a quoted async
+    /// collective hidden behind the remaining backward compute.
+    /// `None`: the legacy single flat synchronous all-reduce. Numerics
+    /// are **bit-identical** either way (an element-wise rank-order mean
+    /// does not care how the buffer is split); only modeled time moves.
+    pub grad_bucket_bytes: Option<usize>,
 }
 
 impl DistConfig {
@@ -67,6 +75,7 @@ impl DistConfig {
             horizon,
             time_period: None,
             prefetch: false,
+            grad_bucket_bytes: Some(st_dist::ddp::DEFAULT_GRAD_BUCKET_BYTES),
         }
     }
 
@@ -86,15 +95,24 @@ impl DistConfig {
     }
 }
 
-/// Per-epoch statistics of a distributed run (rank-0 view; all ranks agree).
+/// Per-epoch statistics of a distributed run (rank-0 view; all ranks agree
+/// on the metrics, while the comm split below is rank 0's own accounting).
 #[derive(Debug, Clone, Copy)]
 pub struct DistEpochStats {
     /// Epoch index.
     pub epoch: usize,
-    /// Mean training MAE (standardized) across all workers.
+    /// Mean training MAE (standardized) across all contributing workers.
     pub train_loss: f32,
     /// Validation MAE in original units, computed over all workers.
     pub val_mae: f32,
+    /// Modeled communication seconds this epoch that the overlap
+    /// scheduler hid behind compute (rank 0's ledger: setup reads,
+    /// prefetched fetches, in-flight gradient buckets).
+    pub hidden_comm_secs: f64,
+    /// Modeled communication seconds this epoch actually charged to the
+    /// clock (exposed: collective rendezvous, unhidden remainders, metric
+    /// reductions).
+    pub exposed_comm_secs: f64,
 }
 
 /// Result of a distributed run.

@@ -18,24 +18,29 @@
 //!   [`Trainer`](crate::trainer::Trainer) and by [`run`] alike.
 //! - [`run`] / [`run_single`] — the epoch loop: one rank per worker,
 //!   bit-deterministic rank-order metric reductions, simulated-clock
-//!   charging, optional checkpoint capture/resume, and double-buffered
-//!   prefetching for every remote data plane behind
-//!   [`DistConfig::prefetch`].
+//!   charging, optional checkpoint capture/resume, and a **pipelined step
+//!   path**: every concurrent comm stream — the one-time setup read, the
+//!   double-buffered next-batch fetch ([`DistConfig::prefetch`]), and the
+//!   backward-overlapped gradient buckets
+//!   ([`DistConfig::grad_bucket_bytes`]) — is quoted onto one
+//!   [`st_device::OverlapLedger`] and hidden behind modeled compute
+//!   uniformly, with the per-epoch hidden/exposed split reported in
+//!   [`DistEpochStats`].
 //!
 //! Determinism invariant (DESIGN.md §2): the engine charges *time* for
 //! fetches and collectives but never lets it influence numerics — plans
-//! are derived from `(seed, epoch[, rank])` alone and all cross-rank
-//! combination happens in rank order.
+//! are derived from `(seed, epoch[, rank])` alone, all cross-rank
+//! combination happens in rank order, and the bucketed gradient mean is
+//! bit-identical to the flat one (pinned by `tests/engine_goldens.rs`).
 
 use crate::dist_index::{DistConfig, DistEpochStats, DistRunResult};
 use st_autograd::loss;
 use st_autograd::module::Param;
 use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
 use st_autograd::{Checkpoint, Tape, Var};
-use st_device::CostModel;
-use st_dist::ddp::DdpContext;
+use st_device::{CostModel, OverlapLedger, StreamId};
+use st_dist::ddp::{self, DdpContext, GradBuckets};
 use st_dist::launch::{self, run_workers, WorkerCtx};
-use st_dist::prefetch::Prefetcher;
 use st_dist::shuffle;
 use st_models::Seq2Seq;
 use st_tensor::Tensor;
@@ -211,6 +216,21 @@ impl StepLoop {
     /// against `y`'s target, backprop, and accumulate parameter
     /// gradients. Returns the (standardized) loss value.
     pub fn forward_backward(&self, fwd: impl FnOnce(&Tape) -> Var, y: &Tensor) -> f32 {
+        self.forward_backward_traced(fwd, y, false).0
+    }
+
+    /// [`StepLoop::forward_backward`] plus, when `trace` is set, the
+    /// tape's gradient-completion sequence
+    /// ([`Tape::param_completion_order`]) — the timing trace the pipelined
+    /// engine samples once per rank to model when each gradient bucket
+    /// may fire (the sequence is a pure function of the model structure,
+    /// so re-collecting it every step would be waste).
+    pub fn forward_backward_traced(
+        &self,
+        fwd: impl FnOnce(&Tape) -> Var,
+        y: &Tensor,
+        trace: bool,
+    ) -> (f32, Vec<Param>) {
         let target = Self::target_of(y);
         let tape = Tape::new();
         let pred = fwd(&tape);
@@ -219,7 +239,12 @@ impl StepLoop {
         let value = l.value().item();
         let grads = tape.backward(&l);
         tape.accumulate_param_grads(&grads);
-        value
+        let completion = if trace {
+            tape.param_completion_order()
+        } else {
+            Vec::new()
+        };
+        (value, completion)
     }
 
     /// Clip (when configured) and apply one optimizer step.
@@ -372,10 +397,26 @@ fn run_rank<P: DistDataPlane>(
         grad_clip: cfg.grad_clip,
     };
     let sync = plane.sync_gradients();
-    let mut ddp = sync.then(|| DdpContext::new(model.params()));
-    if let Some(d) = ddp.as_mut() {
-        d.broadcast_parameters(&mut ctx.comm);
+    if sync {
+        ddp::broadcast_parameters(&model.params(), &mut ctx.comm);
     }
+    // The pipelined sync path: deterministic byte-capped buckets in
+    // reversed module order (every rank derives the identical partition
+    // before any backward has run — PyTorch DDP's approximation of
+    // completion order), refined per step by the tape's actual
+    // completion sequence for the fire points. The legacy flat
+    // `DdpContext` is built only when bucketing is off, so each rank
+    // holds one set of persistent sync buffers, not two.
+    let mut buckets = match cfg.grad_bucket_bytes {
+        Some(cap) if sync => {
+            let mut params = model.params();
+            params.reverse();
+            Some(GradBuckets::new(params, cap))
+        }
+        _ => None,
+    };
+    let mut ddp = (sync && buckets.is_none()).then(|| DdpContext::new(model.params()));
+    let mut fire: Option<Vec<f64>> = None;
     let mut opt = Adam::new(model.params(), cfg.effective_lr());
     let mut start_epoch = 0u64;
     if let Some(bytes) = &opts.resume {
@@ -386,20 +427,27 @@ fn run_rank<P: DistDataPlane>(
     }
     let gpu_flops = cm.gpu_flops;
 
-    // §7 prefetching: remote planes double-buffer fetches so data-plane
-    // time hides behind compute; the one-time setup transfer (halo reads)
-    // is likewise issued asynchronously and its exposed remainder shrinks
-    // as compute lands. Bytes are on the ledger either way.
+    // The overlap scheduler: one FIFO ledger for every concurrent comm
+    // stream — the one-time setup transfer (halo reads), the §7
+    // double-buffered next-batch fetch, and the in-flight gradient
+    // buckets. Bytes land on their ledgers at quote time regardless;
+    // only the modeled seconds move between hidden and exposed.
+    let mut overlap = OverlapLedger::new();
     let prefetch_on = cfg.prefetch && plane.remote();
-    let mut setup_exposed = plane.setup_secs();
-    if !prefetch_on && setup_exposed > 0.0 {
-        ctx.clock.advance_comm(setup_exposed);
-        setup_exposed = 0.0;
+    let setup_secs = plane.setup_secs();
+    if setup_secs > 0.0 {
+        if prefetch_on {
+            let _ = overlap.begin(setup_secs);
+        } else {
+            ctx.clock.advance_comm(setup_secs);
+        }
     }
 
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
     let mut val_series = Vec::with_capacity(cfg.epochs);
     for epoch in start_epoch..cfg.epochs as u64 {
+        let comm_mark = ctx.clock.comm_secs();
+        let hidden_mark = overlap.hidden_secs();
         let plan = plane.plan_epoch(epoch);
         // With synchronized gradients every rank must enter the same
         // number of per-step collectives; exhausted ranks contribute
@@ -410,22 +458,30 @@ fn run_rank<P: DistDataPlane>(
             plan.len()
         };
         debug_assert!(rounds >= plan.len(), "plan exceeds agreed rounds");
-        let mut pf = prefetch_on.then(Prefetcher::new);
-        if let (Some(p), Some(first)) = (pf.as_mut(), plan.first()) {
-            let f = plane.fetch_batch(first);
-            p.issue((f.x, f.y), f.secs);
+        let mut pending: Option<((Tensor, Tensor), StreamId)> = None;
+        if prefetch_on {
+            if let Some(first) = plan.first() {
+                let f = plane.fetch_batch(first);
+                pending = Some(((f.x, f.y), overlap.begin(f.secs)));
+            }
         }
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for round in 0..rounds {
             opt.zero_grad();
+            // Modeled step compute, split at the fwd/bwd boundary so
+            // gradient buckets only overlap the backward tail that runs
+            // after they fire. Zero on rounds where this rank's plan is
+            // exhausted: it still meets every collective, fully exposed.
+            let mut fwd_secs = 0.0;
+            let mut bwd_secs = 0.0;
             if let Some(ids) = plan.get(round) {
-                let (x, y) = match pf.as_mut() {
-                    Some(p) => {
-                        let pair = p.wait(&ctx.clock);
+                let (x, y) = match pending.take() {
+                    Some((pair, stream)) => {
+                        overlap.wait(stream, &ctx.clock);
                         if let Some(next) = plan.get(round + 1) {
                             let f = plane.fetch_batch(next);
-                            p.issue((f.x, f.y), f.secs);
+                            pending = Some(((f.x, f.y), overlap.begin(f.secs)));
                         }
                         pair
                     }
@@ -437,35 +493,70 @@ fn run_rank<P: DistDataPlane>(
                         (f.x, f.y)
                     }
                 };
-                let l = step.forward_backward(|tape| plane.forward(model, tape, ids, &x), &y);
+                // The completion trace is a pure function of the model
+                // structure: sample it on this rank's first step only.
+                let trace = buckets.is_some() && fire.is_none();
+                let (l, completion) = step.forward_backward_traced(
+                    |tape| plane.forward(model, tape, ids, &x),
+                    &y,
+                    trace,
+                );
                 loss_sum += l as f64;
                 batches += 1;
-                // Charge modeled step compute (fwd + bwd ≈ 3× fwd) and
-                // credit it against in-flight transfers: setup first,
-                // then the double-buffered next batch.
+                // Charge modeled step compute (fwd + bwd ≈ 3× fwd).
                 let compute_secs = 3.0 * model.flops_per_forward(ids.len()) / gpu_flops;
                 ctx.clock.advance_compute(compute_secs);
-                let mut budget = compute_secs;
-                if setup_exposed > 0.0 {
-                    let hidden = setup_exposed.min(budget);
-                    setup_exposed -= hidden;
-                    budget -= hidden;
-                }
-                if let Some(p) = pf.as_mut() {
-                    p.overlap(budget);
+                fwd_secs = compute_secs / 3.0;
+                bwd_secs = compute_secs - fwd_secs;
+                if let (true, Some(b)) = (trace, &buckets) {
+                    fire = Some(b.fire_fractions(&completion));
                 }
             }
-            if let Some(d) = ddp.as_mut() {
-                d.average_gradients(&mut ctx.comm);
+            // Forward compute hides whatever was already in flight
+            // (setup remainder, the double-buffered fetch).
+            overlap.credit(fwd_secs);
+            match buckets.as_mut() {
+                Some(b) => {
+                    // Pipelined sync: walk the buckets in firing order,
+                    // crediting the backward segment up to each fire
+                    // point before its quoted collective begins, so
+                    // bucket i overlaps the backward tail behind it.
+                    let fractions = fire.as_deref();
+                    let mut done = 0.0;
+                    let mut in_flight = Vec::with_capacity(b.num_buckets());
+                    for i in 0..b.num_buckets() {
+                        let at = fractions.map_or(1.0, |f| f[i]).max(done);
+                        overlap.credit((at - done) * bwd_secs);
+                        done = at;
+                        let secs = b.reduce_bucket_quoted(i, &mut ctx.comm);
+                        in_flight.push(overlap.begin(secs));
+                    }
+                    overlap.credit((1.0 - done) * bwd_secs);
+                    // The optimizer needs every averaged gradient: settle
+                    // all buckets, paying only what compute never hid.
+                    for stream in in_flight {
+                        overlap.wait(stream, &ctx.clock);
+                    }
+                }
+                None => {
+                    overlap.credit(bwd_secs);
+                    if let Some(d) = ddp.as_mut() {
+                        d.average_gradients(&mut ctx.comm);
+                    }
+                }
             }
             step.clip_and_step(&model.params(), &mut opt);
         }
 
-        // Mean training loss across ranks (rank-order combination).
-        let sums = ctx
-            .comm
-            .all_gather_scalar((loss_sum / batches.max(1) as f64) as f32);
-        let train_loss = sums.iter().sum::<f32>() / sums.len() as f32;
+        // Mean training loss across contributing ranks (rank-order
+        // combination). Ranks whose ragged plan had zero batches are
+        // excluded — averaging their 0.0 in would bias the mean low.
+        let mut sums = [
+            (loss_sum / batches.max(1) as f64) as f32,
+            (batches > 0) as u8 as f32,
+        ];
+        ctx.comm.all_reduce_sum(&mut sums);
+        let train_loss = sums[0] / sums[1].max(1.0);
 
         // Validation: each rank evaluates its own slice synchronously.
         // Skippable per epoch (every rank derives the same decision, so
@@ -503,12 +594,13 @@ fn run_rank<P: DistDataPlane>(
             epoch: epoch as usize,
             train_loss,
             val_mae,
+            hidden_comm_secs: overlap.hidden_secs() - hidden_mark,
+            exposed_comm_secs: ctx.clock.comm_secs() - comm_mark,
         });
     }
-    // Any setup time never hidden by compute is still owed.
-    if setup_exposed > 0.0 {
-        ctx.clock.advance_comm(setup_exposed);
-    }
+    // Any quoted time never hidden by compute (the setup remainder) is
+    // still owed.
+    overlap.wait_all(&ctx.clock);
 
     let checkpoint = (opts.capture_checkpoint && ctx.rank() == 0).then(|| {
         Checkpoint::capture(&model.params(), &opt, cfg.epochs as u64)
@@ -543,5 +635,163 @@ fn assemble(mut outcomes: Vec<RankOutcome>, start: std::time::Instant) -> Engine
         wall_secs: start.elapsed().as_secs_f64(),
         rank_val,
         checkpoint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autograd::ops;
+    use st_autograd::Module;
+
+    /// `pred = x[..,0:1] * w + b` — two params so the bucketed path has a
+    /// real firing sequence.
+    struct ToyModel {
+        w: Param,
+        b: Param,
+    }
+
+    impl ToyModel {
+        fn new() -> Self {
+            ToyModel {
+                w: Param::new("w", Tensor::zeros([1])),
+                b: Param::new("b", Tensor::zeros([1])),
+            }
+        }
+    }
+
+    impl Module for ToyModel {
+        fn params(&self) -> Vec<Param> {
+            vec![self.w.clone(), self.b.clone()]
+        }
+    }
+
+    impl Seq2Seq for ToyModel {
+        fn forward(&self, tape: &Tape, x: &Tensor) -> Var {
+            let xv = tape.constant(x.narrow(3, 0, 1).expect("feature 0").contiguous());
+            let wx = ops::mul(&xv, &tape.param(&self.w));
+            ops::add(&wx, &tape.param(&self.b))
+        }
+
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn flops_per_forward(&self, batch: usize) -> f64 {
+            batch as f64 * 1.0e9
+        }
+    }
+
+    /// Two-rank toy plane. When `ragged`, rank 1's plan is empty: it meets
+    /// every collective with zero gradients and must not drag the train
+    /// loss.
+    struct ToyPlane {
+        rank: usize,
+        ragged: bool,
+    }
+
+    impl DistDataPlane for ToyPlane {
+        fn rounds_per_epoch(&self) -> usize {
+            2
+        }
+
+        fn plan_epoch(&self, _epoch: u64) -> Vec<Vec<usize>> {
+            if self.rank == 0 || !self.ragged {
+                vec![vec![0], vec![1]]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn plan_val(&self) -> Vec<Vec<usize>> {
+            Vec::new()
+        }
+
+        fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+            Fetch {
+                x: Tensor::full([1, 1, 2, 1], 1.0),
+                y: Tensor::full([1, 1, 2, 1], (ids[0] + 1) as f32),
+                secs: 0.0,
+            }
+        }
+
+        fn scaler_std(&self) -> f32 {
+            1.0
+        }
+    }
+
+    fn ragged_cfg(bucket: Option<usize>) -> DistConfig {
+        let mut cfg = DistConfig::new(2, 1, 1);
+        cfg.batch_per_worker = 1;
+        cfg.grad_bucket_bytes = bucket;
+        cfg
+    }
+
+    #[test]
+    fn zero_batch_ranks_do_not_dilute_the_train_loss() {
+        // Rank 0's two batches have targets 1 and 2 against a zero-init
+        // model: its local mean loss is ≥ 1. The old cross-rank reduction
+        // averaged rank 1's phantom 0.0 in (reporting ~half); contributing
+        // ranks only must keep the mean ≥ 1.
+        let r = run(
+            &ragged_cfg(None),
+            &EngineOptions::default(),
+            |rank, _cm| ToyPlane { rank, ragged: true },
+            |_| Box::new(ToyModel::new()),
+        );
+        let loss = r.epochs[0].train_loss;
+        assert!(loss > 1.0, "train loss {loss} diluted by a zero-batch rank");
+    }
+
+    #[test]
+    fn bucketed_overlap_matches_flat_and_hides_collective_time() {
+        let toy = |cap: Option<usize>, ragged: bool| {
+            run(
+                &ragged_cfg(cap),
+                &EngineOptions::default(),
+                move |rank, _cm| ToyPlane { rank, ragged },
+                |_| Box::new(ToyModel::new()),
+            )
+        };
+        let flat = toy(None, false);
+        // A 4-byte cap puts w and b in separate buckets; the b-bucket
+        // fires halfway through the modeled backward and hides fully
+        // behind its tail, so only the final bucket's wire time stays
+        // exposed — strictly less than the flat reduce's.
+        let bucketed = toy(Some(4), false);
+        for (a, b) in flat.epochs.iter().zip(&bucketed.epochs) {
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "bucketing must not change numerics"
+            );
+            assert_eq!(a.val_mae.to_bits(), b.val_mae.to_bits());
+        }
+        assert_eq!(
+            flat.epochs[0].hidden_comm_secs, 0.0,
+            "flat path hides nothing"
+        );
+        let e = &bucketed.epochs[0];
+        assert!(
+            e.hidden_comm_secs > 0.0,
+            "early-firing bucket must hide behind the backward tail"
+        );
+        assert!(e.exposed_comm_secs > 0.0, "rendezvous time stays exposed");
+        assert!(
+            bucketed.sim_comm_secs < flat.sim_comm_secs,
+            "overlap must reduce exposed comm: {} vs {}",
+            bucketed.sim_comm_secs,
+            flat.sim_comm_secs
+        );
+
+        // Ragged worlds stay numerically identical too: the idle rank
+        // meets every bucket collective with zeros.
+        let rflat = toy(None, true);
+        let rbucket = toy(Some(4), true);
+        assert_eq!(
+            rflat.epochs[0].train_loss.to_bits(),
+            rbucket.epochs[0].train_loss.to_bits(),
+            "ragged bucketing must not change numerics"
+        );
     }
 }

@@ -11,12 +11,16 @@
 //! - [`clock`] — a simulated clock accumulating modeled seconds.
 //! - [`costmodel`] — analytic compute / transfer / network / IO costs
 //!   calibrated to A100-, PCIe-, NVLink- and Slingshot-class constants.
+//! - [`overlap`] — the overlap ledger: FIFO accounting for quoted comm
+//!   streams (setup reads, prefetched fetches, in-flight gradient
+//!   buckets) hidden behind modeled compute.
 //! - [`profiler`] — memory-timeline sampling, standing in for psutil/pynvml.
 
 pub mod clock;
 pub mod costmodel;
 pub mod device;
 pub mod memory;
+pub mod overlap;
 pub mod profiler;
 pub mod transfer;
 
@@ -24,5 +28,6 @@ pub use clock::SimClock;
 pub use costmodel::CostModel;
 pub use device::{DeviceKind, DeviceSpec, GIB, MIB};
 pub use memory::{AllocError, Allocation, MemPool, PoolMode};
+pub use overlap::{OverlapLedger, StreamId};
 pub use profiler::MemTimeline;
 pub use transfer::TransferLedger;

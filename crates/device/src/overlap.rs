@@ -1,0 +1,189 @@
+//! The overlap ledger: unified accounting for comm streams hidden behind
+//! compute.
+//!
+//! The training engine runs several modeled transfers concurrently with
+//! modeled compute — a one-time setup read (the generalized mode's halo),
+//! the double-buffered next-batch fetch, and the in-flight gradient-bucket
+//! collectives of the pipelined step engine. All of them follow the same
+//! quote/overlap/settle protocol the prefetcher pioneered: seconds are
+//! *quoted* when the transfer is issued (bytes go on whatever ledger owns
+//! them at that moment), compute seconds *credit* the in-flight streams,
+//! and whatever compute never hid is *charged* to the clock when a
+//! consumer blocks on the stream.
+//!
+//! [`OverlapLedger`] is that protocol, once, for any number of concurrent
+//! streams. Streams share one modeled interconnect, so a second of compute
+//! hides at most one second of communication in total: credit drains
+//! streams in issue (FIFO) order, mirroring the engine's historical
+//! "setup first, then the prefetched batch" priority.
+//!
+//! Determinism invariant (DESIGN.md §2): the ledger only ever moves
+//! *time* — payloads exist from the moment they are quoted, so nothing
+//! here can influence numerics.
+
+use crate::clock::SimClock;
+
+/// Handle for one in-flight stream on an [`OverlapLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamId(u64);
+
+/// FIFO accounting for concurrent communication streams overlapped with
+/// compute. See the module docs for the quote/credit/settle protocol.
+#[derive(Debug, Default)]
+pub struct OverlapLedger {
+    /// In-flight streams in issue order: `(id, exposed seconds left)`.
+    streams: Vec<(u64, f64)>,
+    next_id: u64,
+    hidden: f64,
+    charged: f64,
+}
+
+impl OverlapLedger {
+    /// An empty ledger (nothing in flight).
+    pub fn new() -> Self {
+        OverlapLedger::default()
+    }
+
+    /// Issue a quoted transfer of `secs` modeled seconds. The payload is
+    /// the caller's business (it already exists — simulation assembles
+    /// eagerly); the ledger tracks only the not-yet-hidden time.
+    pub fn begin(&mut self, secs: f64) -> StreamId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.push((id, secs.max(0.0)));
+        StreamId(id)
+    }
+
+    /// Credit `secs` of concurrent compute against the in-flight streams,
+    /// draining them in issue order (the interconnect is one resource: a
+    /// compute second hides at most one comm second across all streams).
+    pub fn credit(&mut self, mut secs: f64) {
+        for (_, exposed) in self.streams.iter_mut() {
+            if secs <= 0.0 {
+                break;
+            }
+            let hide = exposed.min(secs);
+            *exposed -= hide;
+            secs -= hide;
+            self.hidden += hide;
+        }
+    }
+
+    /// Block on one stream: charge its exposed remainder to `clock` and
+    /// retire it. Panics on an unknown (already settled) id — a settled
+    /// stream's payload was already consumed once.
+    pub fn wait(&mut self, id: StreamId, clock: &SimClock) {
+        let pos = self
+            .streams
+            .iter()
+            .position(|(sid, _)| *sid == id.0)
+            .expect("stream already settled");
+        let (_, exposed) = self.streams.remove(pos);
+        if exposed > 0.0 {
+            clock.advance_comm(exposed);
+            self.charged += exposed;
+        }
+    }
+
+    /// Settle every in-flight stream (end of run: whatever compute never
+    /// hid is still owed).
+    pub fn wait_all(&mut self, clock: &SimClock) {
+        let owed: f64 = self.streams.drain(..).map(|(_, e)| e).sum();
+        if owed > 0.0 {
+            clock.advance_comm(owed);
+            self.charged += owed;
+        }
+    }
+
+    /// Number of streams currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total comm seconds hidden behind compute so far.
+    pub fn hidden_secs(&self) -> f64 {
+        self.hidden
+    }
+
+    /// Total exposed comm seconds this ledger has charged to clocks.
+    pub fn charged_secs(&self) -> f64 {
+        self.charged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_credited_stream_charges_nothing() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin(2.0);
+        ol.credit(5.0);
+        ol.wait(s, &clock);
+        assert_eq!(clock.comm_secs(), 0.0);
+        assert_eq!(ol.hidden_secs(), 2.0);
+        assert_eq!(ol.in_flight(), 0);
+    }
+
+    #[test]
+    fn uncredited_remainder_is_charged_on_wait() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin(3.0);
+        ol.credit(1.0);
+        ol.wait(s, &clock);
+        assert_eq!(clock.comm_secs(), 2.0);
+        assert_eq!(ol.hidden_secs(), 1.0);
+        assert_eq!(ol.charged_secs(), 2.0);
+    }
+
+    #[test]
+    fn credit_drains_streams_in_issue_order() {
+        // One compute second hides at most one comm second in total: the
+        // earlier stream absorbs the credit first.
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let a = ol.begin(2.0);
+        let b = ol.begin(2.0);
+        ol.credit(3.0);
+        ol.wait(a, &clock);
+        assert_eq!(clock.comm_secs(), 0.0, "first stream fully hidden");
+        ol.wait(b, &clock);
+        assert_eq!(clock.comm_secs(), 1.0, "second got the leftover credit");
+    }
+
+    #[test]
+    fn wait_all_settles_everything_owed() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        ol.begin(1.5);
+        ol.begin(0.5);
+        ol.credit(1.0);
+        assert_eq!(ol.in_flight(), 2);
+        ol.wait_all(&clock);
+        assert_eq!(ol.in_flight(), 0);
+        assert_eq!(clock.comm_secs(), 1.0);
+        assert_eq!(ol.hidden_secs() + ol.charged_secs(), 2.0);
+    }
+
+    #[test]
+    fn zero_second_streams_are_free() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin(0.0);
+        ol.wait(s, &clock);
+        assert_eq!(clock.comm_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stream already settled")]
+    fn double_wait_is_loud() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin(1.0);
+        ol.wait(s, &clock);
+        ol.wait(s, &clock);
+    }
+}

@@ -1,35 +1,116 @@
-//! DDP-style parameter broadcast and gradient averaging.
+//! DDP-style parameter broadcast and gradient synchronization.
 //!
 //! Mirrors PyTorch DistributedDataParallel at the granularity this repo
-//! needs: parameters are flattened into one f32 bucket per collective, so a
-//! training step costs a single all-reduce regardless of parameter count
-//! (DDP's bucketing, degenerated to one bucket). Ranks whose epoch ran out
-//! of batches contribute zero gradients but still enter the collective —
-//! see [`crate::shuffle::common_rounds`].
+//! needs, in two flavors:
+//!
+//! - [`DdpContext`] — the degenerate single-bucket form: every parameter
+//!   flattens into one persistent f32 scratch buffer and a training step
+//!   costs one synchronous all-reduce.
+//! - [`GradBuckets`] — real DDP bucketing for the pipelined step engine:
+//!   deterministic byte-capped buckets in **gradient-completion order**
+//!   (the order `Tape::backward` finalizes grads, approximated up front by
+//!   reversed module order exactly as PyTorch does), each all-reduced as a
+//!   *quoted* collective (`Comm::all_reduce_mean_quoted`) so its wire time
+//!   can hide behind the backward compute still running for earlier
+//!   parameters.
+//!
+//! Both paths are **bit-identical**: an element-wise rank-order mean does
+//! not care how the flat buffer is split (pinned by
+//! `tests/proptests_ext.rs::bucketed_all_reduce_equals_flat`). Ranks whose
+//! epoch ran out of batches contribute zero gradients but still enter
+//! every collective — see [`crate::shuffle::common_rounds`].
+//!
+//! Scratch buffers and per-parameter output tensors are allocated once at
+//! construction and reused every step; in steady state a gradient sync
+//! performs no per-step allocation beyond the collective's own payload
+//! exchange.
 
 use crate::launch::Comm;
 use st_autograd::module::Param;
 use st_tensor::Tensor;
 
-/// Per-replica DDP state: the parameter list this worker synchronizes.
-pub struct DdpContext {
+/// A flat view over an ordered parameter group: one persistent scratch
+/// buffer plus persistent output-gradient tensors, so gather → all-reduce
+/// → scatter allocates nothing in steady state.
+struct FlatChunk {
     params: Vec<Param>,
+    numel: usize,
+    scratch: Vec<f32>,
+    /// Persistent per-param averaged-gradient tensors, rewritten in place
+    /// each step (`zero_grad` drops the param's handle between steps, so
+    /// the copy-on-write storage stays uniquely owned).
+    out: Vec<Tensor>,
+}
+
+impl FlatChunk {
+    fn new(params: Vec<Param>) -> Self {
+        let numel = params.iter().map(Param::numel).sum();
+        let out = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().clone()))
+            .collect();
+        FlatChunk {
+            scratch: vec![0.0; numel],
+            numel,
+            params,
+            out,
+        }
+    }
+
+    /// Flatten the parameters' gradients into the scratch buffer; missing
+    /// gradients contribute zeros.
+    fn gather_grads(&mut self) {
+        let mut offset = 0;
+        for p in &self.params {
+            let n = p.numel();
+            let dst = &mut self.scratch[offset..offset + n];
+            match p.grad() {
+                Some(g) => match g.as_slice() {
+                    Ok(s) => dst.copy_from_slice(s),
+                    Err(_) => dst.copy_from_slice(&g.to_vec()),
+                },
+                None => dst.fill(0.0),
+            }
+            offset += n;
+        }
+    }
+
+    /// Scatter the reduced scratch buffer back into every parameter's
+    /// gradient through the persistent output tensors.
+    fn scatter_grads(&mut self) {
+        let mut offset = 0;
+        for (p, t) in self.params.iter().zip(&mut self.out) {
+            let n = p.numel();
+            t.make_mut_contiguous()
+                .copy_from_slice(&self.scratch[offset..offset + n]);
+            offset += n;
+            p.set_grad(Some(t.clone()));
+        }
+    }
+}
+
+/// Per-replica DDP state: the parameter list this worker synchronizes as
+/// one flat bucket.
+pub struct DdpContext {
+    chunk: FlatChunk,
 }
 
 impl DdpContext {
     /// Wrap a replica's parameters (order must match across ranks).
     pub fn new(params: Vec<Param>) -> Self {
-        DdpContext { params }
+        DdpContext {
+            chunk: FlatChunk::new(params),
+        }
     }
 
     /// Number of synchronized parameters.
     pub fn num_params(&self) -> usize {
-        self.params.len()
+        self.chunk.params.len()
     }
 
     /// Total scalars synchronized per all-reduce.
     pub fn numel(&self) -> usize {
-        self.params.iter().map(|p| p.numel()).sum()
+        self.chunk.numel
     }
 
     /// Bytes of one gradient bucket (f32).
@@ -40,45 +121,139 @@ impl DdpContext {
     /// Overwrite every rank's parameter values with rank 0's, so replicas
     /// start identical even if a model factory ignored the shared seed.
     pub fn broadcast_parameters(&mut self, comm: &mut Comm) {
-        let mut bucket: Vec<f32> = Vec::with_capacity(self.numel());
-        for p in &self.params {
-            bucket.extend_from_slice(&p.value().to_vec());
-        }
-        comm.broadcast(&mut bucket);
-        let mut offset = 0;
-        for p in &self.params {
-            let value = p.value();
-            let n = value.numel();
-            let slice = bucket[offset..offset + n].to_vec();
-            offset += n;
-            p.set_value(
-                Tensor::from_vec(slice, value.dims().to_vec()).expect("bucket slice matches shape"),
-            );
-        }
+        broadcast_parameters(&self.chunk.params, comm);
     }
 
     /// Average gradients across ranks in one flat all-reduce. Parameters
     /// with no local gradient contribute zeros; afterwards every parameter
     /// on every rank holds the identical averaged gradient.
     pub fn average_gradients(&mut self, comm: &mut Comm) {
-        let mut bucket: Vec<f32> = Vec::with_capacity(self.numel());
-        for p in &self.params {
-            match p.grad() {
-                Some(g) => bucket.extend_from_slice(&g.to_vec()),
-                None => bucket.extend(std::iter::repeat_n(0.0, p.numel())),
+        self.chunk.gather_grads();
+        comm.all_reduce_mean(&mut self.chunk.scratch);
+        self.chunk.scatter_grads();
+    }
+}
+
+/// Overwrite every rank's parameter values with rank 0's (one flat
+/// broadcast), so replicas start identical even if a model factory
+/// ignored the shared seed. A one-time operation — the engine's bucketed
+/// sync path uses this directly so it need not build a whole
+/// [`DdpContext`] just for the startup broadcast.
+pub fn broadcast_parameters(params: &[Param], comm: &mut Comm) {
+    let mut bucket: Vec<f32> = Vec::with_capacity(params.iter().map(Param::numel).sum());
+    for p in params {
+        let v = p.value();
+        match v.as_slice() {
+            Ok(s) => bucket.extend_from_slice(s),
+            Err(_) => bucket.extend_from_slice(&v.to_vec()),
+        }
+    }
+    comm.broadcast(&mut bucket);
+    let mut offset = 0;
+    for p in params {
+        let value = p.value();
+        let n = value.numel();
+        let slice = bucket[offset..offset + n].to_vec();
+        offset += n;
+        p.set_value(
+            Tensor::from_vec(slice, value.dims().to_vec()).expect("bucket slice matches shape"),
+        );
+    }
+}
+
+/// Default byte cap for [`GradBuckets`]: small enough that the repo's
+/// measured-scale models split into several buckets (so the backward
+/// overlap is exercised), in the spirit of PyTorch DDP's 25 MB default at
+/// real scale.
+pub const DEFAULT_GRAD_BUCKET_BYTES: usize = 16 << 10;
+
+/// Byte-capped gradient buckets for backward-overlapped synchronization.
+///
+/// Construction is deterministic and rank-independent: walk `params` in
+/// the given order (callers pass reversed module order — the up-front
+/// approximation of gradient-completion order) and greedily pack
+/// consecutive parameters until the next one would exceed `cap_bytes`
+/// (every bucket holds at least one parameter, so an oversized parameter
+/// gets a bucket of its own). Every rank derives the identical partition,
+/// which is what keeps the per-bucket collectives aligned.
+pub struct GradBuckets {
+    buckets: Vec<FlatChunk>,
+}
+
+impl GradBuckets {
+    /// Pack `params` (in intended firing order) into byte-capped buckets.
+    pub fn new(params: Vec<Param>, cap_bytes: usize) -> Self {
+        let mut buckets = Vec::new();
+        let mut cur: Vec<Param> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for p in params {
+            let bytes = p.numel() * 4;
+            if !cur.is_empty() && cur_bytes + bytes > cap_bytes {
+                buckets.push(FlatChunk::new(std::mem::take(&mut cur)));
+                cur_bytes = 0;
             }
+            cur_bytes += bytes;
+            cur.push(p);
         }
-        comm.all_reduce_mean(&mut bucket);
-        let mut offset = 0;
-        for p in &self.params {
-            let value = p.value();
-            let n = value.numel();
-            let slice = bucket[offset..offset + n].to_vec();
-            offset += n;
-            p.set_grad(Some(
-                Tensor::from_vec(slice, value.dims().to_vec()).expect("bucket slice matches shape"),
-            ));
+        if !cur.is_empty() {
+            buckets.push(FlatChunk::new(cur));
         }
+        GradBuckets { buckets }
+    }
+
+    /// Number of buckets (= per-step collectives).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total scalars across all buckets.
+    pub fn numel(&self) -> usize {
+        self.buckets.iter().map(|b| b.numel).sum()
+    }
+
+    /// All-reduce-mean bucket `i`'s gradients as a quoted collective: the
+    /// averaged gradients are in place on return (bit-identical to the
+    /// flat reduce) and the bytes are ledgered, but the modeled seconds
+    /// come back for the caller's overlap scheduler instead of hitting the
+    /// clock.
+    pub fn reduce_bucket_quoted(&mut self, i: usize, comm: &mut Comm) -> f64 {
+        let chunk = &mut self.buckets[i];
+        chunk.gather_grads();
+        let secs = comm.all_reduce_mean_quoted(&mut chunk.scratch);
+        chunk.scatter_grads();
+        secs
+    }
+
+    /// The modeled backward fraction at which each bucket can fire, given
+    /// the tape's actual gradient-completion sequence for one step (see
+    /// `Tape::param_completion_order`): a bucket is ready when its
+    /// last-completing member's gradient is final, modeled as the
+    /// cumulative-numel fraction of the completion sequence up to that
+    /// member. Parameters absent from `completion` (no gradient flowed
+    /// this step — they contribute zeros) never gate a bucket. Timing
+    /// only: nothing here can influence numerics.
+    pub fn fire_fractions(&self, completion: &[Param]) -> Vec<f64> {
+        let total: f64 = completion.iter().map(|p| p.numel() as f64).sum();
+        let mut cum = Vec::with_capacity(completion.len());
+        let mut acc = 0.0;
+        for p in completion {
+            acc += p.numel() as f64;
+            cum.push(acc / total.max(1.0));
+        }
+        self.buckets
+            .iter()
+            .map(|b| {
+                b.params
+                    .iter()
+                    .filter_map(|p| {
+                        completion
+                            .iter()
+                            .position(|q| q.same_param(p))
+                            .map(|i| cum[i])
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect()
     }
 }
 
@@ -120,5 +295,118 @@ mod tests {
         for vals in out {
             assert_eq!(vals, vec![2.0, 4.0], "mean of (grad, zeros)");
         }
+    }
+
+    #[test]
+    fn averaging_twice_reuses_the_scratch_and_stays_correct() {
+        // The persistent-scratch path must not leak one step's values into
+        // the next (missing grads in step 2 must re-zero their span).
+        let out = run_workers(2, ClusterTopology::polaris(), |mut ctx| {
+            let p = param("w", vec![0.0; 2]);
+            let q = param("v", vec![0.0; 3]);
+            let mut ddp = DdpContext::new(vec![p.clone(), q.clone()]);
+            p.set_grad(Some(Tensor::from_vec(vec![2.0, 2.0], [2]).unwrap()));
+            q.set_grad(Some(Tensor::from_vec(vec![6.0, 6.0, 6.0], [3]).unwrap()));
+            ddp.average_gradients(&mut ctx.comm);
+            let first = (p.grad().unwrap().to_vec(), q.grad().unwrap().to_vec());
+            p.zero_grad();
+            q.zero_grad();
+            if ctx.rank() == 0 {
+                p.set_grad(Some(Tensor::from_vec(vec![4.0, 4.0], [2]).unwrap()));
+            }
+            ddp.average_gradients(&mut ctx.comm);
+            (
+                first,
+                p.grad().unwrap().to_vec(),
+                q.grad().unwrap().to_vec(),
+            )
+        });
+        for (first, p2, q2) in out {
+            assert_eq!(first, (vec![2.0, 2.0], vec![6.0, 6.0, 6.0]));
+            assert_eq!(p2, vec![2.0, 2.0], "mean of (4, missing)");
+            assert_eq!(q2, vec![0.0; 3], "stale step-1 grads must not leak");
+        }
+    }
+
+    #[test]
+    fn bucket_partition_is_deterministic_and_byte_capped() {
+        let ps = vec![
+            param("a", vec![0.0; 4]), // 16 B
+            param("b", vec![0.0; 2]), // 8 B
+            param("c", vec![0.0; 8]), // 32 B — oversized alone
+            param("d", vec![0.0; 1]), // 4 B
+        ];
+        let b = GradBuckets::new(ps.clone(), 24);
+        // Greedy packing: [a, b] (24 B), [c] (32 B > cap but alone), [d].
+        assert_eq!(b.num_buckets(), 3);
+        assert_eq!(b.numel(), 15);
+        let again = GradBuckets::new(ps, 24);
+        let sizes: Vec<usize> = again.buckets.iter().map(|c| c.numel).collect();
+        assert_eq!(sizes, vec![6, 8, 1]);
+    }
+
+    #[test]
+    fn bucketed_reduce_matches_flat_reduce_bitwise() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            let rank = ctx.rank();
+            let make = |tag: &str| {
+                let ps = vec![
+                    param(&format!("{tag}.a"), vec![0.0; 3]),
+                    param(&format!("{tag}.b"), vec![0.0; 5]),
+                    param(&format!("{tag}.c"), vec![0.0; 2]),
+                ];
+                for (i, p) in ps.iter().enumerate() {
+                    // Rank-dependent grads; rank 1 misses the middle param.
+                    if !(rank == 1 && i == 1) {
+                        let v: Vec<f32> = (0..p.numel())
+                            .map(|j| (rank * 10 + i * 3 + j) as f32 * 0.7)
+                            .collect();
+                        let n = v.len();
+                        p.set_grad(Some(Tensor::from_vec(v, [n]).unwrap()));
+                    }
+                }
+                ps
+            };
+            let flat_ps = make("flat");
+            let mut flat = DdpContext::new(flat_ps.clone());
+            flat.average_gradients(&mut ctx.comm);
+
+            let bucket_ps = make("bucket");
+            let mut rev = bucket_ps.clone();
+            rev.reverse();
+            let mut buckets = GradBuckets::new(rev, 12); // several tiny buckets
+            for i in 0..buckets.num_buckets() {
+                buckets.reduce_bucket_quoted(i, &mut ctx.comm);
+            }
+            let bits = |ps: &[Param]| -> Vec<u32> {
+                ps.iter()
+                    .flat_map(|p| p.grad().unwrap().to_vec())
+                    .map(f32::to_bits)
+                    .collect()
+            };
+            (bits(&flat_ps), bits(&bucket_ps))
+        });
+        for (flat, bucketed) in out {
+            assert_eq!(flat, bucketed, "bucketing must not change a single bit");
+        }
+    }
+
+    #[test]
+    fn fire_fractions_follow_the_completion_sequence() {
+        let a = param("a", vec![0.0; 6]);
+        let b = param("b", vec![0.0; 2]);
+        let c = param("c", vec![0.0; 2]);
+        // Buckets in firing order with a 16-byte cap: [c, b] then [a].
+        let buckets = GradBuckets::new(vec![c.clone(), b.clone(), a.clone()], 16);
+        assert_eq!(buckets.num_buckets(), 2);
+        // Completion order c (2), b (2), a (6) of 10 total.
+        let fr = buckets.fire_fractions(&[c.clone(), b.clone(), a.clone()]);
+        assert_eq!(fr.len(), buckets.num_buckets());
+        assert!((fr[0] - 0.4).abs() < 1e-12, "[c, b] fires once b is done");
+        assert!((fr[1] - 1.0).abs() < 1e-12, "bucket gated by a fires last");
+        // A param absent from the completion sequence never gates: with only
+        // [c, b] completing, the a-bucket fires immediately.
+        let fr2 = buckets.fire_fractions(&[c, b]);
+        assert_eq!(fr2[1], 0.0, "a missing from completion never gates");
     }
 }

@@ -129,19 +129,26 @@ impl Comm {
         }
     }
 
+    /// Modeled seconds of a ring all-reduce of `payload_elems` f32 per
+    /// rank, **not** charged to any clock.
+    fn quote_allreduce(&self, payload_elems: usize) -> f64 {
+        let world = self.hub.world;
+        if world == 1 {
+            return 0.0;
+        }
+        let bytes = (payload_elems * 4) as u64;
+        self.hub
+            .cost
+            .allreduce(bytes, world, self.hub.topology.gpus_per_node)
+    }
+
     /// Charge modeled time for a ring all-reduce of `payload_elems` f32 per
     /// rank.
     fn charge_allreduce(&self, payload_elems: usize) {
-        let world = self.hub.world;
-        if world == 1 {
-            return;
+        let secs = self.quote_allreduce(payload_elems);
+        if secs > 0.0 {
+            self.clock.advance_comm(secs);
         }
-        let bytes = (payload_elems * 4) as u64;
-        let secs = self
-            .hub
-            .cost
-            .allreduce(bytes, world, self.hub.topology.gpus_per_node);
-        self.clock.advance_comm(secs);
     }
 
     /// Ring all-reduce ledger volume for `payload_elems` f32 per rank.
@@ -156,15 +163,40 @@ impl Comm {
     /// Element-wise mean across ranks, in place. Deterministic: the sum is
     /// accumulated in rank order on every rank.
     pub fn all_reduce_mean(&mut self, buf: &mut [f32]) {
-        let world = self.hub.world as f32;
-        self.all_reduce_sum(buf);
-        for v in buf.iter_mut() {
-            *v /= world;
+        let secs = self.all_reduce_mean_quoted(buf);
+        if secs > 0.0 {
+            self.clock.advance_comm(secs);
         }
     }
 
     /// Element-wise sum across ranks, in place.
     pub fn all_reduce_sum(&mut self, buf: &mut [f32]) {
+        let secs = self.all_reduce_sum_quoted(buf);
+        if secs > 0.0 {
+            self.clock.advance_comm(secs);
+        }
+    }
+
+    /// [`Comm::all_reduce_mean`] as an **async-style quote**: the result is
+    /// in `buf` on return (numerics identical to the charging variant) and
+    /// the collective's bytes are already on the ledger, but its modeled
+    /// seconds come back to the caller instead of hitting the clock —
+    /// mirroring the data planes' quoted fetches, so an overlap scheduler
+    /// decides whether the time hides behind compute or is paid exposed.
+    pub fn all_reduce_mean_quoted(&mut self, buf: &mut [f32]) -> f64 {
+        let world = self.hub.world as f32;
+        let secs = self.all_reduce_sum_quoted(buf);
+        for v in buf.iter_mut() {
+            *v /= world;
+        }
+        secs
+    }
+
+    /// [`Comm::all_reduce_sum`] as an async-style quote (see
+    /// [`Comm::all_reduce_mean_quoted`]). Clock rendezvous still happens —
+    /// no rank owns the result before the slowest has contributed — but
+    /// the ring's wire time is returned, not charged.
+    pub fn all_reduce_sum_quoted(&mut self, buf: &mut [f32]) -> f64 {
         let n = buf.len();
         self.ledger_collective(self.allreduce_ledger_bytes(n));
         let all = self.exchange(buf.to_vec());
@@ -175,7 +207,7 @@ impl Comm {
                 *acc += v;
             }
         }
-        self.charge_allreduce(n);
+        self.quote_allreduce(n)
     }
 
     /// Gather one scalar from every rank, in rank order.
@@ -345,6 +377,24 @@ mod tests {
             assert!(comm_secs > 0.0);
             // 2(world-1) × 4 KiB payload = 8 KiB on the ledger.
             assert_eq!(bytes, 2 * 1024 * 4);
+        }
+    }
+
+    #[test]
+    fn quoted_all_reduce_matches_charging_variant_except_the_clock() {
+        let out = run_workers(2, ClusterTopology::polaris(), |mut ctx| {
+            let mut charged = vec![ctx.rank() as f32 + 1.0; 16];
+            let mut quoted = charged.clone();
+            ctx.comm.all_reduce_mean(&mut charged);
+            let charged_secs = ctx.clock.comm_secs();
+            let quote = ctx.comm.all_reduce_mean_quoted(&mut quoted);
+            (charged, quoted, charged_secs, quote, ctx.clock.comm_secs())
+        });
+        for (charged, quoted, charged_secs, quote, after) in out {
+            assert_eq!(charged, quoted, "identical numerics");
+            assert!(charged_secs > 0.0);
+            assert!((quote - charged_secs).abs() < 1e-12, "same modeled time");
+            assert_eq!(after, charged_secs, "quote did not touch the clock");
         }
     }
 

@@ -12,8 +12,10 @@
 //!   rides NVLink or the inter-node network.
 //! - [`launch`] — [`launch::run_workers`]: spawn one thread per rank, hand
 //!   each a [`launch::WorkerCtx`] (communicator + clock), join in rank order.
-//! - [`ddp`] — [`ddp::DdpContext`]: parameter broadcast and gradient
-//!   averaging over flat f32 buckets, mirroring PyTorch DDP.
+//! - [`ddp`] — [`ddp::DdpContext`]: parameter broadcast and single-bucket
+//!   gradient averaging; [`ddp::GradBuckets`]: byte-capped buckets in
+//!   gradient-completion order, all-reduced as quoted collectives so the
+//!   pipelined engine can hide them behind backward compute.
 //! - [`shuffle`] — the paper's communication-free epoch shuffling: shared-
 //!   seed global stripes, local and batch-order variants, and the partition
 //!   arithmetic (`contiguous_partition`, `common_rounds`, `range_overlap`)
@@ -32,7 +34,7 @@ pub mod shuffle;
 pub mod topology;
 
 pub use datasvc::{DistributedArray, PartitionPolicy};
-pub use ddp::DdpContext;
+pub use ddp::{DdpContext, GradBuckets, DEFAULT_GRAD_BUCKET_BYTES};
 pub use launch::{run_workers, Comm, CommHub, WorkerCtx};
 pub use prefetch::Prefetcher;
 pub use shuffle::ShuffleStrategy;

@@ -21,6 +21,13 @@ use pgt_i::data::synthetic;
 use pgt_i::graph::diffusion_supports;
 use pgt_i::models::{ModelConfig, PgtDcrnn, Support};
 
+/// The pipelined-engine sweep every golden must survive unchanged: the
+/// legacy flat synchronous reduce, tiny buckets (many per step — maximal
+/// pipelining), and tiny buckets with prefetch. Overlap moves modeled
+/// time only; one bit of drift in a loss is a determinism bug.
+const OVERLAP_VARIANTS: [(Option<usize>, bool); 3] =
+    [(None, false), (Some(512), false), (Some(512), true)];
+
 fn assert_epochs(
     name: &str,
     epochs: &[pgt_i::core::dist_index::DistEpochStats],
@@ -49,73 +56,86 @@ fn assert_epochs(
 fn local_copy_plane_reproduces_the_inline_dist_index_loop() {
     let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.35);
     let sig = synthetic::generate(&spec, 13);
-    let mut cfg = DistConfig::new(2, 3, spec.horizon);
-    cfg.batch_per_worker = 4;
-    let r = run_distributed_index(&sig, &cfg, pgt_dcrnn_factory(&sig, spec.horizon, 8, 42));
-    assert_epochs(
-        "dist_index",
-        &r.epochs,
-        &[
-            (0.6047219, 0.5622681),
-            (0.39428508, 0.29349127),
-            (0.37147808, 0.18459678),
-        ],
-    );
-    assert_eq!(r.data_plane_bytes, 0, "full local copies move no samples");
+    for (cap, prefetch) in OVERLAP_VARIANTS {
+        let mut cfg = DistConfig::new(2, 3, spec.horizon);
+        cfg.batch_per_worker = 4;
+        cfg.grad_bucket_bytes = cap;
+        cfg.prefetch = prefetch;
+        let r = run_distributed_index(&sig, &cfg, pgt_dcrnn_factory(&sig, spec.horizon, 8, 42));
+        assert_epochs(
+            &format!("dist_index[{cap:?}/{prefetch}]"),
+            &r.epochs,
+            &[
+                (0.6047219, 0.5622681),
+                (0.39428508, 0.29349127),
+                (0.37147808, 0.18459678),
+            ],
+        );
+        assert_eq!(r.data_plane_bytes, 0, "full local copies move no samples");
+    }
 }
 
 #[test]
 fn data_svc_plane_reproduces_the_inline_baseline_ddp_loop() {
     let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.35);
     let sig = synthetic::generate(&spec, 13);
-    let mut cfg = DistConfig::new(2, 3, spec.horizon);
-    cfg.batch_per_worker = 4;
-    let r = run_baseline_ddp(&sig, &cfg, |_| {
-        let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
-        Box::new(PgtDcrnn::new(
-            ModelConfig {
-                input_dim: 1,
-                output_dim: 1,
-                hidden: 8,
-                num_nodes: sig.num_nodes(),
-                horizon: spec.horizon,
-                diffusion_steps: 2,
-                layers: 1,
-            },
-            &supports,
-            42,
-        ))
-    });
-    assert_epochs(
-        "baseline_ddp",
-        &r.epochs,
-        &[
-            (0.602124, 0.5803667),
-            (0.38723648, 0.29158267),
-            (0.36405236, 0.18627615),
-        ],
-    );
-    // The data-plane ledger is part of the contract too.
-    assert_eq!(r.data_plane_bytes, 46368, "on-demand fetch traffic");
+    for (cap, prefetch) in OVERLAP_VARIANTS {
+        let mut cfg = DistConfig::new(2, 3, spec.horizon);
+        cfg.batch_per_worker = 4;
+        cfg.grad_bucket_bytes = cap;
+        cfg.prefetch = prefetch;
+        let r = run_baseline_ddp(&sig, &cfg, |_| {
+            let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
+            Box::new(PgtDcrnn::new(
+                ModelConfig {
+                    input_dim: 1,
+                    output_dim: 1,
+                    hidden: 8,
+                    num_nodes: sig.num_nodes(),
+                    horizon: spec.horizon,
+                    diffusion_steps: 2,
+                    layers: 1,
+                },
+                &supports,
+                42,
+            ))
+        });
+        assert_epochs(
+            &format!("baseline_ddp[{cap:?}/{prefetch}]"),
+            &r.epochs,
+            &[
+                (0.602124, 0.5803667),
+                (0.38723648, 0.29158267),
+                (0.36405236, 0.18627615),
+            ],
+        );
+        // The data-plane ledger is part of the contract too: overlap hides
+        // time, never traffic.
+        assert_eq!(r.data_plane_bytes, 46368, "on-demand fetch traffic");
+    }
 }
 
 #[test]
 fn halo_entry_plane_reproduces_the_inline_generalized_loop() {
     let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(0.012);
     let sig = synthetic::generate(&spec, 31);
-    let mut cfg = DistConfig::new(2, 2, spec.horizon);
-    cfg.batch_per_worker = 4;
-    cfg.time_period = Some(spec.period);
-    let r = run_generalized(&sig, &cfg, pgt_dcrnn_factory(&sig, spec.horizon, 8, 42));
-    // Re-captured after the per-feature StandardScaler fix: this config
-    // augments with time-of-day, whose [0,1) channel used to contaminate
-    // the scalar speed statistics (and therefore every standardized loss).
-    assert_epochs(
-        "generalized",
-        &r.epochs,
-        &[(0.50323284, 5.0863705), (0.38060495, 5.4412193)],
-    );
-    assert_eq!(r.data_plane_bytes, 736, "setup halo reads only");
+    for (cap, prefetch) in OVERLAP_VARIANTS {
+        let mut cfg = DistConfig::new(2, 2, spec.horizon);
+        cfg.batch_per_worker = 4;
+        cfg.time_period = Some(spec.period);
+        cfg.grad_bucket_bytes = cap;
+        cfg.prefetch = prefetch;
+        let r = run_generalized(&sig, &cfg, pgt_dcrnn_factory(&sig, spec.horizon, 8, 42));
+        // Re-captured after the per-feature StandardScaler fix: this config
+        // augments with time-of-day, whose [0,1) channel used to contaminate
+        // the scalar speed statistics (and therefore every standardized loss).
+        assert_epochs(
+            &format!("generalized[{cap:?}/{prefetch}]"),
+            &r.epochs,
+            &[(0.50323284, 5.0863705), (0.38060495, 5.4412193)],
+        );
+        assert_eq!(r.data_plane_bytes, 736, "setup halo reads only");
+    }
 }
 
 #[test]
