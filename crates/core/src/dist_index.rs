@@ -57,6 +57,14 @@ pub struct DistConfig {
     /// are **bit-identical** either way (an element-wise rank-order mean
     /// does not care how the buffer is split); only modeled time moves.
     pub grad_bucket_bytes: Option<usize>,
+    /// The graph partitioner every partition-consuming plane routes
+    /// through: the §7 partitioned trainer splits the sensor graph with
+    /// it, the generalized mode derives its entry-timeline ranges from it
+    /// ([`st_graph::PartitionerKind::entry_ranges`]), and the dynamic
+    /// plane re-partitions with it on every graph mutation. Defaults to
+    /// the multilevel partitioner — the quality choice under the
+    /// [`st_graph::HaloCostModel`].
+    pub partitioner: st_graph::PartitionerKind,
 }
 
 impl DistConfig {
@@ -76,6 +84,7 @@ impl DistConfig {
             time_period: None,
             prefetch: false,
             grad_bucket_bytes: Some(st_dist::ddp::DEFAULT_GRAD_BUCKET_BYTES),
+            partitioner: st_graph::PartitionerKind::Multilevel,
         }
     }
 

@@ -19,7 +19,7 @@ use st_data::dynamic::DynamicGraphTemporalSignal;
 use st_data::preprocess::num_snapshots;
 use st_data::scaler::StandardScaler;
 use st_data::splits::{SplitIndices, SplitRatios};
-use st_graph::diffusion_supports;
+use st_graph::{diffusion_supports, HaloCostModel, PartitionerKind, Partitioning};
 use st_models::{ModelConfig, PgtDcrnn, Support};
 use st_tensor::Tensor;
 
@@ -159,6 +159,51 @@ impl DynamicIndexDataset {
     }
 }
 
+/// One segment of a dynamic graph's partition timeline: the partitioning
+/// in force from [`TimelinePartition::start_entry`] until the next graph
+/// mutation re-partitions.
+#[derive(Debug, Clone)]
+pub struct TimelinePartition {
+    /// First time entry this partitioning covers.
+    pub start_entry: usize,
+    /// The partitioning of the graph as of `start_entry`.
+    pub partitioning: Partitioning,
+    /// Modeled halo bytes of this segment's split under the run's
+    /// [`HaloCostModel`] — what a partition-parallel consumer would pay
+    /// per boundary while this topology holds.
+    pub halo_bytes: u64,
+}
+
+/// Partition a dynamic signal's timeline with the configured partitioner:
+/// entry 0's graph is partitioned up front, and every entry whose
+/// adjacency differs from its predecessor's (a **graph mutation**)
+/// triggers a re-partition — static stretches reuse the segment's split,
+/// exactly as the per-entry diffusion supports are shared by every window
+/// touching an entry.
+pub fn partition_timeline(
+    signal: &DynamicGraphTemporalSignal,
+    k: usize,
+    kind: PartitionerKind,
+    horizon: usize,
+) -> Vec<TimelinePartition> {
+    assert!(k > 0, "need at least one part");
+    let cost = HaloCostModel::new(horizon.max(1), signal.data.dim(2));
+    let mut segments: Vec<TimelinePartition> = Vec::new();
+    for (t, adj) in signal.adjacencies.iter().enumerate() {
+        let mutated = t == 0 || adj.weights() != signal.adjacencies[t - 1].weights();
+        if mutated {
+            let partitioning = kind.partition(adj, None, k, horizon);
+            let halo_bytes = cost.halo_bytes(adj, &partitioning);
+            segments.push(TimelinePartition {
+                start_entry: t,
+                partitioning,
+                halo_bytes,
+            });
+        }
+    }
+    segments
+}
+
 /// Configuration for dynamic-graph training.
 #[derive(Debug, Clone)]
 pub struct DynamicTrainConfig {
@@ -174,6 +219,11 @@ pub struct DynamicTrainConfig {
     pub seed: u64,
     /// Gradient clip.
     pub grad_clip: Option<f32>,
+    /// Spatial parts the partition timeline tracks (1 = unpartitioned; the
+    /// single-worker trainer itself is unchanged — the timeline prices
+    /// what a `parts`-way partition-parallel deployment would pay as the
+    /// topology mutates).
+    pub parts: usize,
 }
 
 impl Default for DynamicTrainConfig {
@@ -185,6 +235,7 @@ impl Default for DynamicTrainConfig {
             diffusion_steps: 2,
             seed: 42,
             grad_clip: Some(5.0),
+            parts: 1,
         }
     }
 }
@@ -211,17 +262,53 @@ pub struct DynamicEpochStats {
 pub struct DynamicPlane {
     ds: DynamicIndexDataset,
     seed: u64,
+    timeline: Vec<TimelinePartition>,
 }
 
 impl DynamicPlane {
-    /// Wrap a dynamic dataset.
+    /// Wrap a dynamic dataset with an empty partition timeline.
     pub fn new(ds: DynamicIndexDataset, seed: u64) -> Self {
-        DynamicPlane { ds, seed }
+        DynamicPlane {
+            ds,
+            seed,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Wrap a dynamic dataset plus the [`partition_timeline`] the
+    /// configured partitioner produced: the plane re-partitions (segment
+    /// boundaries) exactly where the graph mutates.
+    pub fn with_partition_timeline(
+        ds: DynamicIndexDataset,
+        seed: u64,
+        timeline: Vec<TimelinePartition>,
+    ) -> Self {
+        DynamicPlane { ds, seed, timeline }
     }
 
     /// The underlying dataset.
     pub fn dataset(&self) -> &DynamicIndexDataset {
         &self.ds
+    }
+
+    /// The partition timeline (empty when the plane was built without a
+    /// partitioner).
+    pub fn partition_timeline(&self) -> &[TimelinePartition] {
+        &self.timeline
+    }
+
+    /// Graph mutations that forced a re-partition.
+    pub fn repartitions(&self) -> usize {
+        self.timeline.len().saturating_sub(1)
+    }
+
+    /// The partitioning in force at time `entry`, if a timeline exists.
+    pub fn partitioning_at(&self, entry: usize) -> Option<&Partitioning> {
+        self.timeline
+            .iter()
+            .rev()
+            .find(|s| s.start_entry <= entry)
+            .map(|s| &s.partitioning)
     }
 }
 
@@ -286,6 +373,16 @@ pub fn train_dynamic(
     dist_cfg.lr = cfg.lr;
     dist_cfg.seed = cfg.seed;
     dist_cfg.grad_clip = cfg.grad_clip;
+    // Re-partition with the configured partitioner at every graph
+    // mutation: the plane carries the timeline so partition-parallel
+    // consumers can price each topology segment's halo. With the default
+    // `parts = 1` there is nothing to split and nothing to price — skip
+    // the per-entry adjacency scans entirely.
+    let timeline = if cfg.parts > 1 {
+        partition_timeline(signal, cfg.parts, dist_cfg.partitioner, horizon)
+    } else {
+        Vec::new()
+    };
 
     let (report, model) = crate::engine::run_single(
         &dist_cfg,
@@ -307,7 +404,10 @@ pub fn train_dynamic(
                 &ds.supports[0],
                 cfg.seed,
             );
-            (DynamicPlane::new(ds, cfg.seed), model)
+            (
+                DynamicPlane::with_partition_timeline(ds, cfg.seed, timeline),
+                model,
+            )
         },
     );
     // Rebuild original-unit validation MAE from the engine's raw f64 sums
@@ -378,6 +478,46 @@ mod tests {
             d.resident_bytes(),
             d.materialized_bytes()
         );
+    }
+
+    #[test]
+    fn mutations_trigger_repartitioning_and_static_graphs_do_not() {
+        // synthetic_dynamic_traffic modulates edge weights every entry, so
+        // every entry is a mutation: one segment per entry.
+        let sig = synthetic_dynamic_traffic(6, 20, 5);
+        let segments = partition_timeline(&sig, 2, PartitionerKind::Multilevel, 4);
+        assert_eq!(segments.len(), 20, "every mutation re-partitions");
+        for s in &segments {
+            assert_eq!(s.partitioning.num_parts(), 2);
+            assert_eq!(s.partitioning.part_sizes().iter().sum::<usize>(), 6);
+        }
+
+        // A frozen topology never re-partitions.
+        let frozen =
+            DynamicGraphTemporalSignal::new(sig.data.clone(), vec![sig.adjacencies[0].clone(); 20]);
+        let segments = partition_timeline(&frozen, 2, PartitionerKind::Multilevel, 4);
+        assert_eq!(segments.len(), 1, "static topology keeps one partition");
+        assert_eq!(segments[0].start_entry, 0);
+        assert!(segments[0].halo_bytes > 0, "a 2-way split cuts something");
+    }
+
+    #[test]
+    fn plane_carries_the_timeline_through_training() {
+        let sig = synthetic_dynamic_traffic(6, 60, 5);
+        let ds = DynamicIndexDataset::from_signal(&sig, 4, SplitRatios::default(), 2);
+        let timeline = partition_timeline(&sig, 2, PartitionerKind::Multilevel, 4);
+        let plane = DynamicPlane::with_partition_timeline(ds, 1, timeline);
+        assert_eq!(plane.repartitions(), 59);
+        let p = plane.partitioning_at(7).expect("timeline covers entry 7");
+        assert_eq!(p.num_parts(), 2);
+        // Plain construction carries no timeline.
+        let plane = DynamicPlane::new(
+            DynamicIndexDataset::from_signal(&sig, 4, SplitRatios::default(), 2),
+            1,
+        );
+        assert!(plane.partition_timeline().is_empty());
+        assert_eq!(plane.repartitions(), 0);
+        assert!(plane.partitioning_at(0).is_none());
     }
 
     #[test]

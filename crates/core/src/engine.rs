@@ -367,6 +367,33 @@ where
 /// alongside the report (models are not `Send`, so the threaded [`run`]
 /// cannot hand them back). Used by the dynamic-graph runner, which
 /// returns its model to the caller.
+///
+/// ```
+/// use pgt_index::dist_index::DistConfig;
+/// use pgt_index::dynamic_index::{DynamicIndexDataset, DynamicPlane};
+/// use pgt_index::engine::{run_single, EngineOptions};
+/// use st_data::dynamic::synthetic_dynamic_traffic;
+/// use st_data::splits::SplitRatios;
+/// use st_models::{ModelConfig, PgtDcrnn};
+///
+/// // A 6-sensor dynamic-topology signal, index-batched, trained for two
+/// // epochs as a world of one.
+/// let sig = synthetic_dynamic_traffic(6, 60, 5);
+/// let ds = DynamicIndexDataset::from_signal(&sig, 4, SplitRatios::default(), 2);
+/// let cfg = DistConfig::new(1, 2, 4);
+/// let (report, _model) = run_single(&cfg, &EngineOptions::default(), move |_cm| {
+///     let mc = ModelConfig {
+///         input_dim: ds.num_features(), output_dim: 1, hidden: 4,
+///         num_nodes: ds.num_nodes(), horizon: 4, diffusion_steps: 2, layers: 1,
+///     };
+///     // Initial supports fix the weight layout; per-step operators come
+///     // from the dataset at runtime through the plane's forward hook.
+///     let model = PgtDcrnn::new(mc, ds.supports_for(0)[0], 42);
+///     (DynamicPlane::new(ds, 42), model)
+/// });
+/// assert_eq!(report.epochs.len(), 2);
+/// assert!(report.epochs[1].train_loss.is_finite());
+/// ```
 pub fn run_single<P, M, B>(cfg: &DistConfig, opts: &EngineOptions, build: B) -> (EngineReport, M)
 where
     P: DistDataPlane,

@@ -31,11 +31,14 @@ use st_data::loader::Batcher;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
 use st_dist::topology::ClusterTopology;
-use st_graph::{diffusion_supports, Partitioning};
+use st_graph::diffusion_supports;
 use st_models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
 use st_tensor::Tensor;
 
-/// How to split the graph across partition workers.
+/// How to split the graph across partition workers. Each variant maps to
+/// an [`st_graph::PartitionerKind`] threaded through
+/// [`crate::dist_index::DistConfig::partitioner`] — the single knob every
+/// partition-consuming plane reads.
 #[derive(Debug, Clone)]
 pub enum PartitionStrategy {
     /// Contiguous node-index blocks (the naive baseline).
@@ -44,6 +47,26 @@ pub enum PartitionStrategy {
     CoordinateBisection(Vec<(f32, f32)>),
     /// Seeded BFS region growing over the weighted edges.
     GreedyBfs,
+    /// Multilevel heavy-edge-matching partitioning with halo-cost-scored
+    /// boundary refinement ([`st_graph::Partitioning::multilevel`]) — the
+    /// default, and the quality choice under the
+    /// [`st_graph::HaloCostModel`].
+    Multilevel,
+}
+
+impl PartitionStrategy {
+    /// The [`st_graph::PartitionerKind`] this strategy routes through,
+    /// plus the coordinates the geometric variant carries.
+    pub fn kind(&self) -> (st_graph::PartitionerKind, Option<&[(f32, f32)]>) {
+        match self {
+            PartitionStrategy::Contiguous => (st_graph::PartitionerKind::Contiguous, None),
+            PartitionStrategy::CoordinateBisection(coords) => {
+                (st_graph::PartitionerKind::CoordinateBisection, Some(coords))
+            }
+            PartitionStrategy::GreedyBfs => (st_graph::PartitionerKind::GreedyBfs, None),
+            PartitionStrategy::Multilevel => (st_graph::PartitionerKind::Multilevel, None),
+        }
+    }
 }
 
 /// Configuration of a partitioned training run.
@@ -78,7 +101,7 @@ impl PartitionedConfig {
         PartitionedConfig {
             parts,
             halo_depth: 2,
-            strategy: PartitionStrategy::GreedyBfs,
+            strategy: PartitionStrategy::Multilevel,
             epochs: 3,
             batch_size: 8,
             lr: 1e-2,
@@ -117,6 +140,10 @@ pub struct PartitionedResult {
     pub combined_val_mae: f32,
     /// Fraction of weighted edges cut by the partitioning.
     pub cut_fraction: f64,
+    /// Modeled halo bytes of the split actually trained, under the run's
+    /// [`st_graph::HaloCostModel`] (`cut_neighbors × (2·horizon − 1) ×
+    /// row_bytes` over the training feature layout).
+    pub modeled_halo_bytes: u64,
     /// Σ local nodes / N (feature duplication from halos).
     pub replication_factor: f64,
     /// `max_p flops_p / flops_whole`: the parallel critical path per epoch
@@ -243,14 +270,25 @@ pub fn run_partitioned(
     signal: &StaticGraphTemporalSignal,
     cfg: &PartitionedConfig,
 ) -> PartitionedResult {
-    let partitioning = match &cfg.strategy {
-        PartitionStrategy::Contiguous => Partitioning::contiguous(signal.num_nodes(), cfg.parts),
-        PartitionStrategy::CoordinateBisection(coords) => {
-            assert_eq!(coords.len(), signal.num_nodes(), "one coordinate per node");
-            Partitioning::coordinate_bisection(coords, cfg.parts)
-        }
-        PartitionStrategy::GreedyBfs => Partitioning::greedy_bfs(&signal.adjacency, cfg.parts),
-    };
+    // The partitioner flows through DistConfig — the knob every
+    // partition-consuming plane shares — rather than being hard-wired
+    // per runner.
+    let mut dist_cfg = crate::dist_index::DistConfig::new(cfg.parts, cfg.epochs, cfg.horizon);
+    dist_cfg.batch_per_worker = cfg.batch_size;
+    dist_cfg.lr = cfg.lr;
+    dist_cfg.seed = cfg.seed;
+    dist_cfg.grad_clip = Some(5.0);
+    dist_cfg.time_period = cfg.time_period;
+    dist_cfg.topology = ClusterTopology::polaris();
+    let (kind, coords) = cfg.strategy.kind();
+    dist_cfg.partitioner = kind;
+    if let Some(c) = coords {
+        assert_eq!(c.len(), signal.num_nodes(), "one coordinate per node");
+    }
+    let partitioning =
+        dist_cfg
+            .partitioner
+            .partition(&signal.adjacency, coords, cfg.parts, cfg.horizon);
     let subgraphs = partitioning.subgraphs(&signal.adjacency, cfg.halo_depth);
 
     // Whole-graph comparison quantities.
@@ -260,11 +298,19 @@ pub fn run_partitioned(
     let whole_flops = whole_model.flops_per_forward(1);
     let whole_resident_bytes = whole_ds.resident_bytes(4);
 
+    // Empty parts (possible when `parts > n` — the partitioners document
+    // it) own nothing, train nothing, and must not panic downstream: only
+    // the non-empty parts become engine ranks.
+    let active: Vec<usize> = (0..cfg.parts)
+        .filter(|&p| subgraphs[p].owned_count > 0)
+        .collect();
+
     // Per-partition signals and datasets, built once up front (tensor
     // storage is shared, so the engine's per-rank planes clone in O(1)).
-    let locals: Vec<(StaticGraphTemporalSignal, IndexDataset)> = subgraphs
+    let locals: Vec<(StaticGraphTemporalSignal, IndexDataset)> = active
         .iter()
-        .map(|sub| {
+        .map(|&p| {
+            let sub = &subgraphs[p];
             let local_sig = node_subset_signal(signal, &sub.global_ids, sub.adjacency.clone());
             let ds = IndexDataset::from_signal(
                 &local_sig,
@@ -275,25 +321,18 @@ pub fn run_partitioned(
             (local_sig, ds)
         })
         .collect();
-
-    let mut dist_cfg = crate::dist_index::DistConfig::new(cfg.parts, cfg.epochs, cfg.horizon);
-    dist_cfg.batch_per_worker = cfg.batch_size;
-    dist_cfg.lr = cfg.lr;
-    dist_cfg.seed = cfg.seed;
-    dist_cfg.grad_clip = Some(5.0);
-    dist_cfg.time_period = cfg.time_period;
-    dist_cfg.topology = ClusterTopology::polaris();
+    dist_cfg.world = active.len();
 
     // Per-partition forward FLOPs, captured from the models the engine
     // builds (so nothing is constructed twice just to size it).
-    let part_flops = std::sync::Mutex::new(vec![0.0f64; cfg.parts]);
+    let part_flops = std::sync::Mutex::new(vec![0.0f64; active.len()]);
     let report = engine::run(
         &dist_cfg,
         &EngineOptions::default(),
         |rank, _cm| {
             PartitionedPlane::new(
                 locals[rank].1.clone(),
-                subgraphs[rank].owned_count,
+                subgraphs[active[rank]].owned_count,
                 cfg.batch_size,
                 cfg.seed,
                 rank,
@@ -312,7 +351,19 @@ pub fn run_partitioned(
     let mut weight = 0.0f64;
     let mut max_flops = 0.0f64;
     let mut max_resident = 0u64;
-    for (rank, sub) in subgraphs.iter().enumerate() {
+    for (p, sub) in subgraphs.iter().enumerate() {
+        let Some(rank) = active.iter().position(|&a| a == p) else {
+            // An empty part trains no model and owns no validation nodes.
+            parts.push(PartResult {
+                part: p,
+                owned: 0,
+                halo: 0,
+                val_mae: f32::NAN,
+                resident_bytes: 0,
+                flops_per_sample: 0.0,
+            });
+            continue;
+        };
         let ds = &locals[rank].1;
         // Final-epoch local validation sums, in this partition's scaler
         // units (each partition fits its own scaler). An empty val split
@@ -341,9 +392,11 @@ pub fn run_partitioned(
         });
     }
 
+    let cost = st_graph::HaloCostModel::new(cfg.horizon, whole_ds.num_features());
     PartitionedResult {
         combined_val_mae: (abs_weighted / weight.max(1.0)) as f32,
         cut_fraction: partitioning.cut_fraction(&signal.adjacency),
+        modeled_halo_bytes: cost.halo_bytes(&signal.adjacency, &partitioning),
         replication_factor: partitioning.replication_factor(&signal.adjacency, cfg.halo_depth),
         parallel_flops_fraction: max_flops / whole_flops,
         max_resident_bytes: max_resident,
@@ -455,6 +508,7 @@ mod tests {
         assert!(r.combined_val_mae.is_finite());
         // The documented trade-off triangle:
         assert!(r.cut_fraction > 0.0, "a 2-way split must cut something");
+        assert!(r.modeled_halo_bytes > 0, "cut neighbors must be priced");
         assert!(r.replication_factor >= 1.0);
         assert!(
             r.parallel_flops_fraction < 1.0,
@@ -499,6 +553,31 @@ mod tests {
     }
 
     #[test]
+    fn more_parts_than_nodes_leaves_empty_parts_without_panicking() {
+        // Regression: `k > n` yields empty parts (the partitioners
+        // document it) — the runner must skip them, not panic in
+        // node_subset_signal / IndexDataset / the engine.
+        let net = st_graph::generators::highway_corridor(5, 1, 11);
+        let sig = synthetic::traffic::generate(&net, 160, 288, 11);
+        let mut cfg = PartitionedConfig::new(7, 4);
+        cfg.epochs = 1;
+        cfg.batch_size = 4;
+        cfg.halo_depth = 1;
+        let r = run_partitioned(&sig, &cfg);
+        assert_eq!(r.parts.len(), 7);
+        let empty: Vec<&PartResult> = r.parts.iter().filter(|p| p.owned == 0).collect();
+        assert_eq!(empty.len(), 2, "7 parts over 5 nodes leaves 2 empty");
+        for p in &empty {
+            assert!(p.val_mae.is_nan(), "an empty part has no validation");
+            assert_eq!(p.resident_bytes, 0);
+            assert_eq!(p.halo, 0);
+        }
+        // Non-empty parts still train and combine.
+        assert!(r.combined_val_mae.is_finite());
+        assert!(r.parts.iter().filter(|p| p.owned > 0).count() == 5);
+    }
+
+    #[test]
     fn strategies_all_run() {
         let (spec, sig) = signal();
         let coords = st_graph::generators::random_geometric(sig.num_nodes(), 10.0, 5).coords;
@@ -506,6 +585,7 @@ mod tests {
             PartitionStrategy::Contiguous,
             PartitionStrategy::CoordinateBisection(coords),
             PartitionStrategy::GreedyBfs,
+            PartitionStrategy::Multilevel,
         ] {
             let mut cfg = PartitionedConfig::new(2, spec.horizon);
             cfg.epochs = 1;

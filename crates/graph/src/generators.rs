@@ -66,6 +66,70 @@ pub fn random_geometric(n: usize, extent: f32, seed: u64) -> SensorNetwork {
     SensorNetwork { coords, adjacency }
 }
 
+/// Sensors on a jittered `rows × cols` lattice — a caricature of urban
+/// arterial grids (city block detectors), the topology where partition
+/// boundaries cost the most because every interior node has four strong
+/// neighbors.
+pub fn city_grid(rows: usize, cols: usize, seed: u64) -> SensorNetwork {
+    assert!(rows > 0 && cols > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            coords.push((
+                c as f32 + rng.gen_range(-0.15..0.15),
+                r as f32 + rng.gen_range(-0.15..0.15),
+            ));
+        }
+    }
+    let adjacency = Adjacency::from_coordinates(&coords, Some(1.0), 0.2);
+    SensorNetwork { coords, adjacency }
+}
+
+/// A scale-free (Barabási–Albert preferential-attachment) network: each
+/// new node attaches `m` edges to existing nodes with probability
+/// proportional to their degree. Hubs emerge, so edge-cut-oblivious
+/// partitioners that slice through a hub replicate it everywhere — the
+/// adversarial case for the halo cost model. Coordinates are random (the
+/// topology, unlike the geometric generators, is not planar).
+pub fn scale_free(n: usize, m: usize, seed: u64) -> SensorNetwork {
+    assert!(n > m && m > 0, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weights = vec![0.0f32; n * n];
+    // Degree-weighted target list: node i appears once per incident edge.
+    let mut targets: Vec<usize> = (0..=m).collect();
+    for u in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let v = targets[rng.gen_range(0..targets.len())];
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            weights[u * n + v] = 1.0;
+            weights[v * n + u] = 1.0;
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    // Seed clique over the first m+1 nodes so early attachments connect.
+    for i in 0..=m {
+        for j in 0..=m {
+            if i != j {
+                weights[i * n + j] = 1.0;
+            }
+        }
+    }
+    let coords: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+        .collect();
+    SensorNetwork {
+        coords,
+        adjacency: Adjacency::from_dense(n, weights),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +159,40 @@ mod tests {
         assert!(density < 0.2, "density {density} too high");
         // But not empty (self loops at minimum).
         assert!(net.adjacency.num_edges() >= 200);
+    }
+
+    #[test]
+    fn grid_is_seeded_and_lattice_connected() {
+        let a = city_grid(4, 5, 3);
+        let b = city_grid(4, 5, 3);
+        assert_eq!(a.num_nodes(), 20);
+        assert_eq!(a.coords, b.coords, "same seed, same grid");
+        // Horizontal and vertical lattice neighbors are strongly connected.
+        assert!(a.adjacency.weight(0, 1) > 0.3, "row neighbor");
+        assert!(a.adjacency.weight(0, 5) > 0.3, "column neighbor");
+    }
+
+    #[test]
+    fn scale_free_has_hubs() {
+        let net = scale_free(60, 2, 9);
+        assert_eq!(net.num_nodes(), 60);
+        let mut degrees: Vec<usize> = (0..60)
+            .map(|i| {
+                (0..60)
+                    .filter(|&j| net.adjacency.weight(i, j) > 0.0)
+                    .count()
+            })
+            .collect();
+        degrees.sort_unstable();
+        // Preferential attachment: the max degree dwarfs the median.
+        assert!(
+            degrees[59] >= 2 * degrees[30],
+            "no hub: max {} median {}",
+            degrees[59],
+            degrees[30]
+        );
+        // Every node has at least m = 2 edges (attachment or seed clique).
+        assert!(degrees[0] >= 2);
     }
 
     #[test]

@@ -8,17 +8,29 @@
 //! induced subgraphs. The training-side integration lives in
 //! `pgt-index::partitioned`.
 //!
-//! Three partitioners cover the design space:
+//! Four partitioners cover the design space:
 //! - [`Partitioning::contiguous`] — index blocks; the trivial baseline.
 //! - [`Partitioning::coordinate_bisection`] — recursive coordinate
 //!   bisection over sensor positions (spatially compact, well balanced);
 //!   sensor networks embed in the plane, so geometry is a strong proxy for
 //!   the Gaussian-kernel edge structure.
 //! - [`Partitioning::greedy_bfs`] — seeded region growing over the actual
-//!   weighted edges (METIS-flavored, topology-aware).
+//!   weighted edges (topology-aware, fast, but jagged where regions
+//!   collide).
+//! - [`Partitioning::multilevel`] — METIS-flavored multilevel scheme:
+//!   heavy-edge-matching coarsening, seeded initial partitions on the
+//!   coarsest graph, then uncoarsening with balance-constrained greedy
+//!   KL/FM boundary refinement. The quality partitioner every consumer
+//!   defaults to via [`PartitionerKind`].
+//!
+//! Quality is scored by [`HaloCostModel`], which converts a partitioning's
+//! *cut neighbors* into the modeled bytes the distributed planes actually
+//! pay (`cut_neighbors × (2·horizon − 1) × row_bytes`) — the objective the
+//! multilevel refinement minimizes, rather than raw edge cut.
 
 use crate::adjacency::Adjacency;
 use std::collections::VecDeque;
+use std::ops::Range;
 
 /// An assignment of every graph node to one of `k` parts.
 #[derive(Debug, Clone)]
@@ -62,9 +74,35 @@ impl Partitioning {
     /// claim unassigned neighbors round-robin, capped at `⌈n/k⌉` nodes.
     /// Stranded nodes (disconnected from every capped region) fall back to
     /// the smallest part.
+    ///
+    /// Disconnected graphs are supported: unreachable nodes rank as
+    /// "farthest of all" during seed spreading, so every component gets a
+    /// seed before any component gets two. When `k > n` the first `n`
+    /// parts hold one node each and the remaining parts are **empty** —
+    /// callers that build per-part workers must tolerate empty parts
+    /// (`pgt_index::partitioned` skips them).
+    ///
+    /// ```
+    /// use st_graph::{generators, Partitioning};
+    ///
+    /// let net = generators::highway_corridor(12, 1, 7);
+    /// let p = Partitioning::greedy_bfs(&net.adjacency, 3);
+    /// assert_eq!(p.num_parts(), 3);
+    /// // Every node is assigned to exactly one part.
+    /// assert_eq!(p.part_sizes().iter().sum::<usize>(), 12);
+    /// // Region growing respects the ⌈n/k⌉ cap up to stranded fallbacks.
+    /// assert!(p.part_sizes().iter().all(|&s| s > 0));
+    /// ```
     pub fn greedy_bfs(adj: &Adjacency, k: usize) -> Self {
         let n = adj.num_nodes();
-        assert!(k > 0 && k <= n, "need 0 < k <= n");
+        assert!(k > 0, "need at least one part");
+        if k > n {
+            // One node per part; parts n..k stay empty (documented above).
+            return Partitioning {
+                assignment: (0..n).collect(),
+                k,
+            };
+        }
         let neighbors = undirected_neighbors(adj);
         let seeds = farthest_first_seeds(&neighbors, k);
         let cap = n.div_ceil(k);
@@ -115,6 +153,163 @@ impl Partitioning {
             }
         }
         Partitioning { assignment, k }
+    }
+
+    /// Multilevel partitioning with default knobs (see
+    /// [`MultilevelConfig`]): heavy-edge-matching coarsening, seeded
+    /// initial partitions on the coarsest graph, and balance-constrained
+    /// greedy KL/FM boundary refinement during uncoarsening, scored by the
+    /// [`HaloCostModel`] rather than raw edge cut.
+    ///
+    /// ```
+    /// use st_graph::partition::{HaloCostModel, Partitioning};
+    /// use st_graph::generators;
+    ///
+    /// let net = generators::highway_corridor(24, 1, 7);
+    /// let ml = Partitioning::multilevel(&net.adjacency, 4);
+    /// let greedy = Partitioning::greedy_bfs(&net.adjacency, 4);
+    ///
+    /// // Valid balanced partition: all nodes covered, no empty part.
+    /// assert_eq!(ml.part_sizes().iter().sum::<usize>(), 24);
+    /// assert!(ml.part_sizes().iter().all(|&s| s > 0));
+    ///
+    /// // Modeled halo traffic never loses to the greedy baseline.
+    /// let cost = HaloCostModel::new(12, 2);
+    /// assert!(cost.halo_bytes(&net.adjacency, &ml)
+    ///     <= cost.halo_bytes(&net.adjacency, &greedy));
+    /// ```
+    pub fn multilevel(adj: &Adjacency, k: usize) -> Self {
+        Self::multilevel_with(adj, k, &MultilevelConfig::default())
+    }
+
+    /// [`Partitioning::multilevel`] with explicit knobs.
+    ///
+    /// The scheme, level by level:
+    /// 1. **Coarsen** — repeated heavy-edge matching: each node pairs with
+    ///    its heaviest still-unmatched neighbor and the pair contracts to
+    ///    one coarse node (edge weights sum, node weights accumulate),
+    ///    until the graph is small or matching stops shrinking it.
+    /// 2. **Initial partition** — [`MultilevelConfig::initial_seeds`]
+    ///    seeded weighted region-growings on the coarsest graph, each
+    ///    refined in place; the candidate with the smallest cut wins.
+    /// 3. **Uncoarsen** — project the assignment back level by level,
+    ///    running [`MultilevelConfig::refine_passes`] greedy KL/FM passes
+    ///    at every level: boundary nodes move to the neighboring part of
+    ///    highest positive edge-cut gain, subject to the
+    ///    [`MultilevelConfig::balance`] cap, so the cut is monotonically
+    ///    non-increasing (Fiedler-free — no spectral machinery).
+    /// 4. **Select** — at the finest level every refinement snapshot is
+    ///    scored by the config's [`HaloCostModel`] and the best-scoring
+    ///    assignment (including the unrefined projection) is returned, so
+    ///    refinement can never worsen the modeled halo traffic.
+    ///
+    /// Like [`Partitioning::greedy_bfs`], `k > n` yields one node per part
+    /// with the remaining parts empty, and disconnected graphs are
+    /// handled by seeding every component.
+    pub fn multilevel_with(adj: &Adjacency, k: usize, cfg: &MultilevelConfig) -> Self {
+        let n = adj.num_nodes();
+        assert!(k > 0, "need at least one part");
+        if k >= n {
+            return Partitioning {
+                assignment: (0..n).collect(),
+                k,
+            };
+        }
+        if k == 1 {
+            return Partitioning {
+                assignment: vec![0; n],
+                k,
+            };
+        }
+
+        // --- 1. Coarsen by heavy-edge matching. -------------------------
+        let mut levels = vec![CoarseGraph::from_adjacency(adj)];
+        let stop_at = cfg.coarsest.max(4 * k);
+        loop {
+            let cur = levels.last().unwrap();
+            if cur.len() <= stop_at {
+                break;
+            }
+            let (coarse, map) = cur.contract_heavy_edge_matching();
+            if coarse.len() as f64 > cur.len() as f64 * 0.95 {
+                break; // matching stopped shrinking the graph
+            }
+            let mut coarse = coarse;
+            coarse.fine_to_coarse = map;
+            levels.push(coarse);
+        }
+
+        // --- 2. Seeded initial partitions on the coarsest graph. --------
+        // Candidates are raw region growings selected by cut weight —
+        // deliberately independent of `refine_passes`, so a refined run
+        // and an unrefined run share the same starting point and the
+        // final halo-score selection makes refinement provably monotone.
+        let coarsest = levels.last().unwrap();
+        let cap = balance_cap(n, k, cfg.balance);
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for seed in 0..cfg.initial_seeds.max(1) {
+            let cand = coarsest.grow_regions(k, cap, seed as u64);
+            let cut = coarsest.cut_weight(&cand);
+            if best.as_ref().is_none_or(|(b, _)| cut < *b) {
+                best = Some((cut, cand));
+            }
+        }
+        let mut assignment = best.expect("at least one seed").1;
+
+        // --- 3. Uncoarsen with greedy KL/FM boundary refinement. --------
+        // `unrefined` projects the initial partition straight down with no
+        // refinement — the baseline the final halo-score selection may
+        // never lose to.
+        let mut unrefined = assignment.clone();
+        for li in (0..levels.len()).rev() {
+            let level = &levels[li];
+            if li < levels.len() - 1 {
+                let map = &levels[li + 1].fine_to_coarse;
+                assignment = project(&assignment, map);
+                unrefined = project(&unrefined, map);
+            }
+            if li > 0 {
+                for _ in 0..cfg.refine_passes {
+                    if !level.fm_pass(&mut assignment, k, cap) {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- 4. Finest level: refine, score every snapshot by modeled ---
+        // halo bytes, and keep the best seen (unrefined projection
+        // included, so refinement is monotone in the halo-cost score).
+        let finest = &levels[0];
+        rebalance(finest, &mut assignment, k, cap);
+        rebalance(finest, &mut unrefined, k, cap);
+        let score = |a: &[usize]| {
+            cfg.cost.halo_bytes(
+                adj,
+                &Partitioning {
+                    assignment: a.to_vec(),
+                    k,
+                },
+            )
+        };
+        let mut winner = (score(&unrefined), unrefined);
+        let s = score(&assignment);
+        if s < winner.0 {
+            winner = (s, assignment.clone());
+        }
+        for _ in 0..cfg.refine_passes {
+            if !finest.fm_pass(&mut assignment, k, cap) {
+                break;
+            }
+            let s = score(&assignment);
+            if s < winner.0 {
+                winner = (s, assignment.clone());
+            }
+        }
+        Partitioning {
+            assignment: winner.1,
+            k,
+        }
     }
 
     /// Number of parts.
@@ -175,6 +370,31 @@ impl Partitioning {
             }
         }
         cut
+    }
+
+    /// Total **cut neighbors** across parts: `Σ_p |halo₁(p)|`, the number
+    /// of (node, foreign part) adjacency pairs — each one a node some part
+    /// must replicate as depth-1 halo. This is the count the distributed
+    /// planes pay `2·horizon − 1` reads per ([`HaloCostModel`]), which is
+    /// why the multilevel refinement minimizes it instead of raw edge cut:
+    /// many light cut edges into the *same* neighbor cost one replica,
+    /// while one cut edge per distinct neighbor costs a replica each.
+    pub fn cut_neighbors(&self, adj: &Adjacency) -> usize {
+        let neighbors = undirected_neighbors(adj);
+        let mut count = 0usize;
+        let mut seen = vec![usize::MAX; self.k];
+        for (v, nbrs) in neighbors.iter().enumerate() {
+            // v is replicated once into every foreign part it touches.
+            seen.iter_mut().for_each(|s| *s = usize::MAX);
+            for &u in nbrs {
+                let p = self.assignment[u];
+                if p != self.assignment[v] && seen[p] != v {
+                    seen[p] = v;
+                    count += 1;
+                }
+            }
+        }
+        count
     }
 
     /// Fraction of (weighted) edges cut by the partitioning.
@@ -261,6 +481,485 @@ impl Subgraph {
     /// Owned global ids.
     pub fn owned_global_ids(&self) -> &[usize] {
         &self.global_ids[..self.owned_count]
+    }
+}
+
+/// Models the halo traffic a partitioning exposes during distributed
+/// training/serving: every cut neighbor (a node some part must replicate)
+/// costs `2·horizon − 1` entry reads — the window span both the
+/// partitioned trainer and the generalized mode's entry halo pay per
+/// boundary — of `row_bytes` each.
+///
+/// This is the objective [`Partitioning::multilevel`] refines toward and
+/// the score the `ablation_partition` bench sweeps, because edge-cut
+/// *weight* is the wrong proxy: a part that cuts ten light edges into one
+/// neighbor replicates one row, while one that cuts one edge each into ten
+/// neighbors replicates ten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloCostModel {
+    /// Forecast horizon `h`: each cut neighbor's row is read for the
+    /// `2·h − 1` entries every training window spans.
+    pub horizon: usize,
+    /// Bytes per (node, entry) feature row (`features × 4` for f32).
+    pub row_bytes: u64,
+}
+
+impl HaloCostModel {
+    /// Cost model for a `horizon`-step forecast over `features` f32
+    /// features per node.
+    pub fn new(horizon: usize, features: usize) -> Self {
+        HaloCostModel {
+            horizon,
+            row_bytes: (features * 4) as u64,
+        }
+    }
+
+    /// Entry reads per cut neighbor: `2·horizon − 1` (input window plus
+    /// label window, sharing the boundary entry).
+    pub fn reads_per_cut_neighbor(&self) -> u64 {
+        (2 * self.horizon).saturating_sub(1) as u64
+    }
+
+    /// Modeled halo bytes of `p` over `adj`:
+    /// `cut_neighbors × (2·horizon − 1) × row_bytes`.
+    pub fn halo_bytes(&self, adj: &Adjacency, p: &Partitioning) -> u64 {
+        p.cut_neighbors(adj) as u64 * self.reads_per_cut_neighbor() * self.row_bytes
+    }
+}
+
+impl Default for HaloCostModel {
+    /// A 12-step horizon (the paper's standard forecast length) over one
+    /// f32 feature.
+    fn default() -> Self {
+        HaloCostModel::new(12, 1)
+    }
+}
+
+/// Knobs of [`Partitioning::multilevel_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultilevelConfig {
+    /// Balance tolerance: no part may exceed `balance × ⌈n/k⌉` nodes
+    /// (weights, at coarse levels).
+    pub balance: f64,
+    /// Stop coarsening once the graph has at most this many nodes (the
+    /// floor `4·k` always applies).
+    pub coarsest: usize,
+    /// Seeded initial-partition candidates tried on the coarsest graph.
+    pub initial_seeds: usize,
+    /// Greedy KL/FM refinement passes per level (0 disables refinement —
+    /// the knob the monotonicity proptest exercises).
+    pub refine_passes: usize,
+    /// The halo cost model refinement snapshots are scored by.
+    pub cost: HaloCostModel,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            balance: 1.15,
+            coarsest: 32,
+            initial_seeds: 4,
+            refine_passes: 4,
+            cost: HaloCostModel::default(),
+        }
+    }
+}
+
+impl MultilevelConfig {
+    /// Defaults with the halo cost model tuned to a specific horizon.
+    pub fn for_horizon(horizon: usize) -> Self {
+        MultilevelConfig {
+            cost: HaloCostModel::new(horizon.max(1), 1),
+            ..Default::default()
+        }
+    }
+}
+
+/// The partitioner choice consumers thread through their configs
+/// (`pgt_index::DistConfig::partitioner`, `st_serve::ServeConfig`
+/// likewise): one tag per algorithm, run via [`PartitionerKind::partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// Contiguous index blocks (the trivial baseline).
+    Contiguous,
+    /// Recursive coordinate bisection (requires sensor coordinates; falls
+    /// back to [`PartitionerKind::GreedyBfs`] without them).
+    CoordinateBisection,
+    /// Seeded BFS region growing over the weighted edges.
+    GreedyBfs,
+    /// The multilevel partitioner — the quality default.
+    Multilevel,
+}
+
+impl PartitionerKind {
+    /// Run the chosen partitioner over `adj` (and `coords` when the
+    /// algorithm is geometric). `horizon` parameterizes the
+    /// [`HaloCostModel`] the multilevel refinement scores against.
+    pub fn partition(
+        &self,
+        adj: &Adjacency,
+        coords: Option<&[(f32, f32)]>,
+        k: usize,
+        horizon: usize,
+    ) -> Partitioning {
+        match self {
+            PartitionerKind::Contiguous => Partitioning::contiguous(adj.num_nodes(), k),
+            PartitionerKind::CoordinateBisection => match coords {
+                Some(c) => Partitioning::coordinate_bisection(c, k),
+                None => Partitioning::greedy_bfs(adj, k),
+            },
+            PartitionerKind::GreedyBfs => Partitioning::greedy_bfs(adj, k),
+            PartitionerKind::Multilevel => {
+                Partitioning::multilevel_with(adj, k, &MultilevelConfig::for_horizon(horizon))
+            }
+        }
+    }
+
+    /// The generalized mode's **entry-timeline** split: `total` time
+    /// entries over `world` ranks. The timeline is a uniform path graph,
+    /// and on a uniform path every balanced k-way optimum — by edge cut
+    /// and by halo cost alike — is the contiguous split, so every kind
+    /// canonicalizes to the same ragged contiguous ranges (bit-identical
+    /// to `st_dist::shuffle::contiguous_partition`). The choice still
+    /// flows through here so graph-partitioned planes and entry-
+    /// partitioned planes read one config knob.
+    pub fn entry_ranges(&self, total: usize, world: usize) -> Vec<Range<usize>> {
+        assert!(world > 0, "need at least one rank");
+        let base = total / world;
+        let rem = total % world;
+        (0..world)
+            .map(|rank| {
+                let start = rank * base + rank.min(rem);
+                start..start + base + usize::from(rank < rem)
+            })
+            .collect()
+    }
+}
+
+/// One coarsening level: undirected weighted neighbor lists plus node
+/// weights (the number of finest-level nodes each coarse node stands for).
+struct CoarseGraph {
+    /// Per-node accumulated fine-node count.
+    node_weight: Vec<usize>,
+    /// Undirected neighbor lists `(neighbor, summed weight)`.
+    adj: Vec<Vec<(usize, f32)>>,
+    /// For levels produced by contraction: finer-level node → this level's
+    /// node. Empty at the finest level.
+    fine_to_coarse: Vec<usize>,
+}
+
+impl CoarseGraph {
+    fn from_adjacency(adj: &Adjacency) -> Self {
+        let n = adj.num_nodes();
+        let mut lists = vec![Vec::new(); n];
+        for (i, list) in lists.iter_mut().enumerate() {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = adj.weight(i, j) + adj.weight(j, i);
+                if w > 0.0 {
+                    list.push((j, w));
+                }
+            }
+        }
+        CoarseGraph {
+            node_weight: vec![1; n],
+            adj: lists,
+            fine_to_coarse: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.node_weight.len()
+    }
+
+    /// Heavy-edge matching + contraction: each unmatched node pairs with
+    /// its heaviest unmatched neighbor; pairs (and leftover singletons)
+    /// become the next level's nodes.
+    fn contract_heavy_edge_matching(&self) -> (CoarseGraph, Vec<usize>) {
+        let n = self.len();
+        let mut mate = vec![usize::MAX; n];
+        for u in 0..n {
+            if mate[u] != usize::MAX {
+                continue;
+            }
+            let heaviest = self.adj[u]
+                .iter()
+                .filter(|&&(v, _)| mate[v] == usize::MAX && v != u)
+                .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+            match heaviest {
+                Some(&(v, _)) => {
+                    mate[u] = v;
+                    mate[v] = u;
+                }
+                None => mate[u] = u,
+            }
+        }
+        // Coarse ids in discovery order keep the contraction deterministic.
+        let mut coarse_of = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for u in 0..n {
+            if coarse_of[u] == usize::MAX {
+                coarse_of[u] = next;
+                let m = mate[u];
+                if m != u && m != usize::MAX {
+                    coarse_of[m] = next;
+                }
+                next += 1;
+            }
+        }
+        let mut node_weight = vec![0usize; next];
+        let mut maps: Vec<std::collections::BTreeMap<usize, f64>> = vec![Default::default(); next];
+        for u in 0..n {
+            let cu = coarse_of[u];
+            node_weight[cu] += self.node_weight[u];
+            for &(v, w) in &self.adj[u] {
+                let cv = coarse_of[v];
+                if cu != cv {
+                    // Each undirected fine edge is visited from both ends;
+                    // halve so coarse weights equal the summed fine weights.
+                    *maps[cu].entry(cv).or_insert(0.0) += w as f64 / 2.0;
+                }
+            }
+        }
+        let adj = maps
+            .into_iter()
+            .map(|m| m.into_iter().map(|(v, w)| (v, w as f32)).collect())
+            .collect();
+        (
+            CoarseGraph {
+                node_weight,
+                adj,
+                fine_to_coarse: Vec::new(),
+            },
+            coarse_of,
+        )
+    }
+
+    /// Seeded weighted region growing (the coarse analogue of
+    /// [`Partitioning::greedy_bfs`]): farthest-first seeds rotated by
+    /// `seed`, regions claim neighbors round-robin under the weight cap,
+    /// stranded nodes fall back to the lightest part.
+    fn grow_regions(&self, k: usize, cap: usize, seed: u64) -> Vec<usize> {
+        let n = self.len();
+        // Prime stride: distinct starts for every candidate seed unless n
+        // is a multiple of 7919 (far beyond the coarsest-graph sizes).
+        let start = (seed as usize * 7919) % n;
+        let mut seeds = vec![start];
+        let mut dist = self.hop_distances(start);
+        while seeds.len() < k.min(n) {
+            let next = (0..n)
+                .filter(|i| !seeds.contains(i))
+                .max_by_key(|&i| dist[i])
+                .expect("k <= n leaves a candidate");
+            seeds.push(next);
+            let d2 = self.hop_distances(next);
+            for i in 0..n {
+                dist[i] = dist[i].min(d2[i]);
+            }
+        }
+        let mut assignment = vec![usize::MAX; n];
+        let mut weight = vec![0usize; k];
+        let mut frontiers: Vec<VecDeque<usize>> =
+            seeds.iter().map(|&s| VecDeque::from([s])).collect();
+        frontiers.resize(k, VecDeque::new());
+        for (p, &s) in seeds.iter().enumerate() {
+            assignment[s] = p;
+            weight[p] = self.node_weight[s];
+        }
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for p in 0..k {
+                if weight[p] >= cap {
+                    continue;
+                }
+                while let Some(u) = frontiers[p].pop_front() {
+                    let mut claimed = false;
+                    for &(v, _) in &self.adj[u] {
+                        if assignment[v] == usize::MAX && weight[p] + self.node_weight[v] <= cap {
+                            assignment[v] = p;
+                            weight[p] += self.node_weight[v];
+                            frontiers[p].push_back(v);
+                            claimed = true;
+                            progress = true;
+                            if weight[p] >= cap {
+                                break;
+                            }
+                        }
+                    }
+                    if claimed {
+                        frontiers[p].push_back(u);
+                        break;
+                    }
+                }
+            }
+        }
+        for (u, a) in assignment.iter_mut().enumerate() {
+            if *a == usize::MAX {
+                let p = (0..k).min_by_key(|&p| weight[p]).unwrap();
+                *a = p;
+                weight[p] += self.node_weight[u];
+            }
+        }
+        assignment
+    }
+
+    fn hop_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[src] = 0;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Total weight of cut edges under `assignment`.
+    fn cut_weight(&self, assignment: &[usize]) -> f64 {
+        let mut cut = 0.0f64;
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, w) in list {
+                if u < v && assignment[u] != assignment[v] {
+                    cut += w as f64;
+                }
+            }
+        }
+        cut
+    }
+
+    /// One greedy KL/FM pass: repeatedly apply the single best
+    /// strictly-positive-gain boundary move that respects the balance cap
+    /// and leaves no part empty. Returns whether anything moved. Strictly
+    /// positive gains keep the edge cut monotone, so passes terminate
+    /// without FM's lock/rollback machinery.
+    fn fm_pass(&self, assignment: &mut [usize], k: usize, cap: usize) -> bool {
+        let n = self.len();
+        let mut part_weight = vec![0usize; k];
+        let mut part_count = vec![0usize; k];
+        for u in 0..n {
+            part_weight[assignment[u]] += self.node_weight[u];
+            part_count[assignment[u]] += 1;
+        }
+        let mut moved_any = false;
+        // Bounded by the strictly-decreasing cut; n·k steps is a generous
+        // safety valve against float-precision stalls.
+        for _ in 0..n * k {
+            let mut best: Option<(f32, usize, usize)> = None;
+            for u in 0..n {
+                let from = assignment[u];
+                if part_count[from] <= 1 {
+                    continue;
+                }
+                // Connectivity of u to each part.
+                let mut conn = vec![0.0f32; k];
+                for &(v, w) in &self.adj[u] {
+                    conn[assignment[v]] += w;
+                }
+                for to in 0..k {
+                    if to == from || part_weight[to] + self.node_weight[u] > cap {
+                        continue;
+                    }
+                    let gain = conn[to] - conn[from];
+                    if gain > 1e-6 && best.as_ref().is_none_or(|(g, _, _)| gain > *g) {
+                        best = Some((gain, u, to));
+                    }
+                }
+            }
+            match best {
+                Some((_, u, to)) => {
+                    let from = assignment[u];
+                    assignment[u] = to;
+                    part_weight[from] -= self.node_weight[u];
+                    part_weight[to] += self.node_weight[u];
+                    part_count[from] -= 1;
+                    part_count[to] += 1;
+                    moved_any = true;
+                }
+                None => break,
+            }
+        }
+        moved_any
+    }
+}
+
+/// Project a coarse assignment onto the finer level through the
+/// contraction map.
+fn project(coarse_assignment: &[usize], fine_to_coarse: &[usize]) -> Vec<usize> {
+    fine_to_coarse
+        .iter()
+        .map(|&c| coarse_assignment[c])
+        .collect()
+}
+
+/// The multilevel balance cap: `balance × ⌈n/k⌉` nodes, never below
+/// `⌈n/k⌉` (a cap under perfect balance would be unsatisfiable).
+fn balance_cap(n: usize, k: usize, balance: f64) -> usize {
+    let per = n.div_ceil(k);
+    ((per as f64 * balance).ceil() as usize).max(per)
+}
+
+/// The node of `part` with the least internal connectivity — the cheapest
+/// one to give away during rebalancing.
+fn cheapest_node(g: &CoarseGraph, assignment: &[usize], part: usize) -> usize {
+    let internal = |x: usize| -> f32 {
+        g.adj[x]
+            .iter()
+            .filter(|&&(v, _)| assignment[v] == part)
+            .map(|&(_, w)| w)
+            .sum()
+    };
+    (0..g.len())
+        .filter(|&u| assignment[u] == part)
+        .min_by(|&a, &b| internal(a).total_cmp(&internal(b)))
+        .expect("part is non-empty")
+}
+
+/// Repair cap violations left by coarse-granularity moves and stranded
+/// fallbacks: shed the cheapest boundary node of each overweight part into
+/// the lightest part that can take it. Also guarantees no part is empty.
+fn rebalance(g: &CoarseGraph, assignment: &mut [usize], k: usize, cap: usize) {
+    let n = g.len();
+    let mut weight = vec![0usize; k];
+    let mut count = vec![0usize; k];
+    for u in 0..n {
+        weight[assignment[u]] += g.node_weight[u];
+        count[assignment[u]] += 1;
+    }
+    // Empty parts steal the heaviest part's least-connected node.
+    for p in 0..k {
+        while count[p] == 0 {
+            let donor = (0..k).max_by_key(|&q| count[q]).unwrap();
+            if count[donor] <= 1 {
+                break;
+            }
+            let u = cheapest_node(g, assignment, donor);
+            assignment[u] = p;
+            weight[donor] -= g.node_weight[u];
+            weight[p] += g.node_weight[u];
+            count[donor] -= 1;
+            count[p] += 1;
+        }
+    }
+    while let Some(over) = (0..k).find(|&p| weight[p] > cap && count[p] > 1) {
+        let u = cheapest_node(g, assignment, over);
+        let Some(to) = (0..k)
+            .filter(|&p| p != over && weight[p] + g.node_weight[u] <= cap)
+            .min_by_key(|&p| weight[p])
+        else {
+            break; // nothing can take it without violating the cap itself
+        };
+        assignment[u] = to;
+        weight[over] -= g.node_weight[u];
+        weight[to] += g.node_weight[u];
+        count[over] -= 1;
+        count[to] += 1;
     }
 }
 
@@ -498,6 +1197,124 @@ mod tests {
         let r2 = p.replication_factor(&n.adjacency, 2);
         assert!((r0 - 1.0).abs() < 1e-9, "no halo ⇒ no replication");
         assert!(r2 > 1.0, "halo implies replication: {r2}");
+    }
+
+    /// Two 4-cliques with no edges between them.
+    fn disconnected_adjacency() -> Adjacency {
+        let n = 8;
+        let mut w = vec![0.0f32; n * n];
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    w[a * n + b] = 1.0;
+                    w[(a + 4) * n + (b + 4)] = 1.0;
+                }
+            }
+        }
+        Adjacency::from_dense(n, w)
+    }
+
+    #[test]
+    fn greedy_bfs_covers_disconnected_graphs() {
+        // Regression: farthest-first seeding must give every component a
+        // seed, and stranded-node fallback must cover the rest — no node
+        // left unassigned, no panic.
+        let adj = disconnected_adjacency();
+        for k in [2usize, 3, 5] {
+            let p = Partitioning::greedy_bfs(&adj, k);
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), 8, "k={k}");
+            assert!(p.part_sizes().iter().all(|&s| s > 0), "k={k}");
+        }
+        // k = 2 splits exactly along the component boundary.
+        let p = Partitioning::greedy_bfs(&adj, 2);
+        assert_eq!(p.edge_cut_weight(&adj), 0.0, "components need no cut");
+    }
+
+    #[test]
+    fn greedy_bfs_k_beyond_n_leaves_empty_parts() {
+        // Regression: k > n must not panic — the first n parts get one
+        // node each and the rest stay empty (documented behavior that
+        // PartitionedPlane consumers tolerate).
+        let adj = disconnected_adjacency();
+        let p = Partitioning::greedy_bfs(&adj, 11);
+        assert_eq!(p.num_parts(), 11);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 3);
+        // Empty parts produce empty (but valid) subgraphs.
+        let sub = p.subgraph(&adj, 10, 1);
+        assert_eq!(sub.num_nodes(), 0);
+        assert_eq!(sub.halo_count(), 0);
+    }
+
+    #[test]
+    fn multilevel_handles_disconnected_and_k_beyond_n() {
+        let adj = disconnected_adjacency();
+        let p = Partitioning::multilevel(&adj, 2);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 8);
+        assert_eq!(p.edge_cut_weight(&adj), 0.0, "components need no cut");
+        let p = Partitioning::multilevel(&adj, 9);
+        assert_eq!(p.num_parts(), 9);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn multilevel_is_balanced_and_beats_greedy_on_corridors() {
+        let net = highway_corridor(64, 2, 3);
+        let cost = HaloCostModel::new(12, 2);
+        for k in [2usize, 4, 8] {
+            let ml = Partitioning::multilevel(&net.adjacency, k);
+            assert_eq!(ml.part_sizes().iter().sum::<usize>(), 64, "k={k}");
+            assert!(ml.part_sizes().iter().all(|&s| s > 0), "k={k}");
+            assert!(ml.imbalance() <= 1.3, "k={k} imbalance {}", ml.imbalance());
+            let greedy = Partitioning::greedy_bfs(&net.adjacency, k);
+            assert!(
+                cost.halo_bytes(&net.adjacency, &ml) <= cost.halo_bytes(&net.adjacency, &greedy),
+                "k={k}: multilevel must not lose to greedy"
+            );
+        }
+    }
+
+    #[test]
+    fn cut_neighbors_counts_replicas_not_weight() {
+        // A path 0-1-2-3 split [0,1] | [2,3]: one cut edge, each side
+        // replicates one neighbor → 2 cut neighbors.
+        let mut w = vec![0.0f32; 16];
+        for i in 0..3 {
+            w[i * 4 + i + 1] = 5.0; // heavy weights must not matter
+            w[(i + 1) * 4 + i] = 5.0;
+        }
+        let adj = Adjacency::from_dense(4, w);
+        let p = Partitioning::from_assignment(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.cut_neighbors(&adj), 2);
+        let cost = HaloCostModel::new(3, 2);
+        // 2 replicas × (2·3 − 1) reads × 8 bytes.
+        assert_eq!(cost.halo_bytes(&adj, &p), 2 * 5 * 8);
+        // One part: nothing is replicated.
+        let whole = Partitioning::from_assignment(vec![0; 4], 1);
+        assert_eq!(whole.cut_neighbors(&adj), 0);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_halo_score() {
+        let cost = HaloCostModel::new(12, 1);
+        for seed in [1u64, 5, 9] {
+            let net = random_geometric(48, 10.0, seed);
+            let unrefined = Partitioning::multilevel_with(
+                &net.adjacency,
+                4,
+                &MultilevelConfig {
+                    refine_passes: 0,
+                    ..Default::default()
+                },
+            );
+            let refined = Partitioning::multilevel(&net.adjacency, 4);
+            assert!(
+                cost.halo_bytes(&net.adjacency, &refined)
+                    <= cost.halo_bytes(&net.adjacency, &unrefined),
+                "seed {seed}: refinement must be monotone in halo score"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,40 @@
 //! The round-trip contract — snapshot, load, serve — is bit-identical to
 //! the trainer's own evaluation forward pass, and the integration tests
 //! pin exactly that.
+//!
+//! ## Deploying a snapshot in one example
+//!
+//! ```
+//! use st_autograd::Module;
+//! use st_data::scaler::StandardScaler;
+//! use st_graph::{diffusion_supports, generators};
+//! use st_models::{ModelConfig, PgtDcrnn, Support};
+//! use st_serve::{BatchedServer, ModelSnapshot, Query, ServeConfig};
+//! use st_tensor::Tensor;
+//!
+//! // A (toy) trained model over an 8-sensor corridor…
+//! let net = generators::highway_corridor(8, 1, 5);
+//! let cfg = ModelConfig {
+//!     input_dim: 1, output_dim: 1, hidden: 4, num_nodes: 8,
+//!     horizon: 3, diffusion_steps: 2, layers: 1,
+//! };
+//! let supports = Support::wrap_all(diffusion_supports(&net.adjacency, 2));
+//! let model = PgtDcrnn::new(cfg.clone(), &supports, 7);
+//! let snap = ModelSnapshot::capture(
+//!     cfg, StandardScaler::identity(), None, &model.params(), 1);
+//!
+//! // …served across 2 shards routed by the multilevel partitioner.
+//! let history = Tensor::arange(20 * 8).reshape([20, 8, 1]).unwrap();
+//! let server = BatchedServer::with_history(
+//!     snap, net.adjacency.clone(), &history, ServeConfig::new(2, 20));
+//! let report = server.serve(&[Query {
+//!     id: 1, node: 3, window_end: 10, arrival_secs: 0.0,
+//! }]);
+//! assert_eq!(report.results.len(), 1);
+//! assert_eq!(report.results[0].forecast.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod queue;
 pub mod shard;

@@ -28,7 +28,7 @@ use crate::snapshot::ModelSnapshot;
 use crate::window::RollingWindow;
 use st_dist::launch::run_workers;
 use st_dist::topology::ClusterTopology;
-use st_graph::{Adjacency, Partitioning};
+use st_graph::{Adjacency, PartitionerKind, Partitioning};
 use st_models::{PgtDcrnn, Seq2Seq};
 use st_tensor::Tensor;
 
@@ -43,6 +43,11 @@ pub struct ServeConfig {
     pub capacity: usize,
     /// Cluster topology the shards are modeled on.
     pub topology: ClusterTopology,
+    /// The partitioner the one-time routing split runs — the same choice
+    /// the training planes take via `DistConfig`. Defaults to the
+    /// multilevel partitioner, which minimizes the modeled halo bytes
+    /// ([`st_graph::HaloCostModel`]) every cross-shard window read pays.
+    pub partitioner: PartitionerKind,
 }
 
 impl ServeConfig {
@@ -54,6 +59,7 @@ impl ServeConfig {
             queue: QueueConfig::default(),
             capacity,
             topology: ClusterTopology::polaris(),
+            partitioner: PartitionerKind::Multilevel,
         }
     }
 }
@@ -159,8 +165,9 @@ pub struct BatchedServer {
 
 impl BatchedServer {
     /// Deploy a snapshot over `adjacency` with an empty signal buffer.
-    /// The graph is partitioned once, here (greedy BFS region growing);
-    /// queries are routed against this static assignment forever after.
+    /// The graph is partitioned once, here, by
+    /// [`ServeConfig::partitioner`] (multilevel by default); queries are
+    /// routed against this static assignment forever after.
     pub fn new(snapshot: ModelSnapshot, adjacency: Adjacency, cfg: ServeConfig) -> Self {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert_eq!(
@@ -174,7 +181,9 @@ impl BatchedServer {
             cfg.capacity,
             snapshot.config.horizon
         );
-        let partitioning = Partitioning::greedy_bfs(&adjacency, cfg.shards);
+        let partitioning =
+            cfg.partitioner
+                .partition(&adjacency, None, cfg.shards, snapshot.config.horizon);
         let window = RollingWindow::new(
             cfg.capacity,
             snapshot.config.num_nodes,

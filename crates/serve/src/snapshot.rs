@@ -239,11 +239,50 @@ impl ModelSnapshot {
     }
 
     /// Write to a file.
+    ///
+    /// Round-trips bit-exactly through [`ModelSnapshot::load`]:
+    ///
+    /// ```
+    /// use st_autograd::module::Param;
+    /// use st_data::scaler::StandardScaler;
+    /// use st_models::ModelConfig;
+    /// use st_serve::ModelSnapshot;
+    /// use st_tensor::Tensor;
+    ///
+    /// let config = ModelConfig {
+    ///     input_dim: 1, output_dim: 1, hidden: 2, num_nodes: 4,
+    ///     horizon: 3, diffusion_steps: 2, layers: 1,
+    /// };
+    /// let params = vec![Param::new("w", Tensor::arange(4))];
+    /// let snap = ModelSnapshot::capture(
+    ///     config, StandardScaler::identity(), None, &params, 5);
+    ///
+    /// let path = std::env::temp_dir().join("pgt_snapshot_doctest.bin");
+    /// snap.save(&path)?;
+    /// let loaded = ModelSnapshot::load(&path)?;
+    /// assert_eq!(loaded.trained_epochs, 5);
+    /// assert_eq!(loaded.params.to_bytes(), snap.params.to_bytes());
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Read from a file, verifying integrity.
+    /// Read from a file, verifying integrity (the checksum and layout
+    /// checks of `ModelSnapshot::from_bytes` surface as
+    /// [`std::io::ErrorKind::InvalidData`]):
+    ///
+    /// ```
+    /// use st_serve::ModelSnapshot;
+    ///
+    /// let path = std::env::temp_dir().join("pgt_snapshot_doctest_bad.bin");
+    /// std::fs::write(&path, b"not a snapshot")?;
+    /// let err = ModelSnapshot::load(&path).unwrap_err();
+    /// assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
         ModelSnapshot::from_bytes(&data)

@@ -14,7 +14,7 @@ use pgt_i::core::baseline_ddp::run_baseline_ddp;
 use pgt_i::core::dist_index::{run_distributed_index, DistConfig};
 use pgt_i::core::dynamic_index::{train_dynamic, DynamicTrainConfig};
 use pgt_i::core::gen_dist_index::run_generalized;
-use pgt_i::core::partitioned::{run_partitioned, PartitionedConfig};
+use pgt_i::core::partitioned::{run_partitioned, PartitionStrategy, PartitionedConfig};
 use pgt_i::core::workflow::pgt_dcrnn_factory;
 use pgt_i::data::datasets::{DatasetKind, DatasetSpec};
 use pgt_i::data::synthetic;
@@ -168,6 +168,9 @@ fn partitioned_plane_reproduces_the_sequential_trainer_loop() {
     let mut cfg = PartitionedConfig::new(2, 4);
     cfg.epochs = 2;
     cfg.batch_size = 4;
+    // Pin the strategy the golden was captured under (the config default
+    // moved to the multilevel partitioner afterwards).
+    cfg.strategy = PartitionStrategy::GreedyBfs;
     let r = run_partitioned(&sig, &cfg);
     assert_eq!(r.combined_val_mae.to_bits(), 2.156524f32.to_bits());
     let vals: Vec<u32> = r.parts.iter().map(|p| p.val_mae.to_bits()).collect();

@@ -5,7 +5,7 @@
 use pgt_i::autograd::{Checkpoint, Param, StateDict};
 use pgt_i::dist::datasvc::PartitionPolicy;
 use pgt_i::dist::shuffle::{common_rounds, contiguous_partition, range_overlap};
-use pgt_i::graph::partition::{halo_nodes, Partitioning};
+use pgt_i::graph::partition::{halo_nodes, HaloCostModel, MultilevelConfig, Partitioning};
 use pgt_i::graph::Adjacency;
 use pgt_i::tensor::Tensor;
 use proptest::prelude::*;
@@ -46,6 +46,7 @@ proptest! {
         for p in [
             Partitioning::contiguous(n, k),
             Partitioning::greedy_bfs(&adj, k),
+            Partitioning::multilevel(&adj, k),
         ] {
             let mut seen = HashSet::new();
             for part in 0..k {
@@ -55,6 +56,61 @@ proptest! {
             }
             prop_assert_eq!(seen.len(), n, "all nodes covered");
         }
+    }
+
+    /// Multilevel output is a valid **balanced** partition: all nodes
+    /// covered exactly once, no empty part, and every part within the
+    /// configured balance tolerance of `⌈n/k⌉` (the rebalance step's cap).
+    #[test]
+    fn multilevel_is_a_valid_balanced_partition(adj in arb_adjacency(), k in 2usize..6) {
+        let n = adj.num_nodes();
+        let k = k.min(n);
+        let cfg = MultilevelConfig::default();
+        let p = Partitioning::multilevel_with(&adj, k, &cfg);
+        prop_assert_eq!(p.num_parts(), k);
+        let sizes = p.part_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n, "all nodes covered");
+        prop_assert!(sizes.iter().all(|&s| s > 0), "no empty part: {:?}", sizes);
+        let cap = ((n.div_ceil(k) as f64) * cfg.balance).ceil() as usize;
+        prop_assert!(
+            sizes.iter().all(|&s| s <= cap.max(n.div_ceil(k))),
+            "sizes {:?} exceed cap {} (n={}, k={})", sizes, cap, n, k
+        );
+    }
+
+    /// Refinement is monotone in the halo-cost score: the refined run can
+    /// never score worse than the unrefined projection it started from
+    /// (the finest-level selection keeps the best-scoring snapshot).
+    #[test]
+    fn multilevel_refinement_never_worsens_halo_cost(adj in arb_adjacency(), k in 2usize..6) {
+        let k = k.min(adj.num_nodes());
+        let unrefined = Partitioning::multilevel_with(&adj, k, &MultilevelConfig {
+            refine_passes: 0,
+            ..Default::default()
+        });
+        let refined = Partitioning::multilevel_with(&adj, k, &MultilevelConfig::default());
+        let cost = HaloCostModel::new(12, 2);
+        prop_assert!(
+            cost.halo_bytes(&adj, &refined) <= cost.halo_bytes(&adj, &unrefined),
+            "refined {} > unrefined {}",
+            cost.halo_bytes(&adj, &refined),
+            cost.halo_bytes(&adj, &unrefined)
+        );
+    }
+
+    /// The halo cost model is consistent with its own pieces: bytes =
+    /// cut_neighbors × (2h − 1) × row_bytes, zero only when nothing is
+    /// cut, and monotone in the horizon.
+    #[test]
+    fn halo_cost_model_algebra(adj in arb_adjacency(), k in 2usize..5, h in 1usize..13) {
+        let p = Partitioning::greedy_bfs(&adj, k.min(adj.num_nodes()));
+        let cost = HaloCostModel::new(h, 2);
+        let bytes = cost.halo_bytes(&adj, &p);
+        let replicas = p.cut_neighbors(&adj) as u64;
+        prop_assert_eq!(bytes, replicas * (2 * h as u64 - 1) * 8);
+        prop_assert_eq!(bytes == 0, replicas == 0);
+        let deeper = HaloCostModel::new(h + 1, 2);
+        prop_assert!(deeper.halo_bytes(&adj, &p) >= bytes, "monotone in horizon");
     }
 
     /// The cut fraction is a fraction, and a 1-way "partitioning" cuts
