@@ -189,6 +189,7 @@ where
         },
         |plane: &DataSvcPlane| model_factory(plane),
     )
+    .expect("engine run without resume cannot fail")
     .into_dist_result()
 }
 

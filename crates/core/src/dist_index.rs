@@ -65,6 +65,23 @@ pub struct DistConfig {
     /// the multilevel partitioner — the quality choice under the
     /// [`st_graph::HaloCostModel`].
     pub partitioner: st_graph::PartitionerKind,
+    /// Staleness bound `s` for gradient application (MSPipe direction).
+    /// `0` (the default) is today's synchronous path — every collective
+    /// settles in the step that issued it, **bit-identical** to the flat
+    /// reduce. `s ≥ 1` lets a rank apply an averaged gradient up to `s`
+    /// steps after it was issued: bucket collectives become deadline
+    /// streams on the overlap ledger, applied when their modeled arrival
+    /// instant passes the rank's clock, with a hard sync fence the moment
+    /// the bound would be exceeded. Requires the bucketed path (a flat
+    /// `grad_bucket_bytes: None` config with `s ≥ 1` gets one whole-model
+    /// bucket). See DESIGN.md §4.
+    pub staleness: usize,
+    /// Deterministic straggler-injection knob: scales each rank's modeled
+    /// compute seconds by [`st_device::CostModel::straggler_scale`] (rank 0
+    /// stays at 1.0, the last rank runs `1 + skew` slower, linear ramp
+    /// between). Numerics never see it — only modeled time moves. `0.0`
+    /// (the default) models a uniform healthy allocation.
+    pub straggler_skew: f64,
 }
 
 impl DistConfig {
@@ -85,6 +102,8 @@ impl DistConfig {
             prefetch: false,
             grad_bucket_bytes: Some(st_dist::ddp::DEFAULT_GRAD_BUCKET_BYTES),
             partitioner: st_graph::PartitionerKind::Multilevel,
+            staleness: 0,
+            straggler_skew: 0.0,
         }
     }
 
@@ -122,6 +141,12 @@ pub struct DistEpochStats {
     /// clock (exposed: collective rendezvous, unhidden remainders, metric
     /// reductions).
     pub exposed_comm_secs: f64,
+    /// Gradients rank 0 applied at age ≥ 1 step this epoch (always zero on
+    /// the synchronous `staleness = 0` path).
+    pub stale_steps_applied: u64,
+    /// Hard sync fences rank 0 took this epoch because a not-yet-arrived
+    /// collective hit the staleness bound.
+    pub fence_stalls: u64,
 }
 
 /// Result of a distributed run.
@@ -267,6 +292,7 @@ where
         |rank, _cm| LocalCopyPlane::new(signal, cfg, rank),
         |plane: &LocalCopyPlane| model_factory(plane.dataset()),
     )
+    .expect("engine run without resume cannot fail")
     .into_dist_result()
 }
 

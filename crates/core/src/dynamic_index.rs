@@ -409,7 +409,8 @@ pub fn train_dynamic(
                 model,
             )
         },
-    );
+    )
+    .expect("engine run without resume cannot fail");
     // Rebuild original-unit validation MAE from the engine's raw f64 sums
     // (the rank-uniform f32 gather path rounds differently than the
     // historical single-worker formula).

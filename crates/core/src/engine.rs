@@ -32,16 +32,24 @@
 //! are derived from `(seed, epoch[, rank])` alone, all cross-rank
 //! combination happens in rank order, and the bucketed gradient mean is
 //! bit-identical to the flat one (pinned by `tests/engine_goldens.rs`).
+//! The one documented relaxation is [`DistConfig::staleness`] `≥ 1`
+//! (DESIGN.md §4): gradient application then consults *modeled* arrival
+//! instants — themselves pure functions of the run configuration — so
+//! runs stay reproducible bit-for-bit while replicas may deliberately
+//! diverge from the synchronous trajectory.
 
 use crate::dist_index::{DistConfig, DistEpochStats, DistRunResult};
+use st_autograd::checkpoint::CheckpointError;
 use st_autograd::loss;
 use st_autograd::module::Param;
 use st_autograd::optim::{clip_grad_norm, Adam, Optimizer};
+use st_autograd::schedule::{ConstantLr, LrSchedule};
 use st_autograd::{Checkpoint, Tape, Var};
 use st_device::{CostModel, OverlapLedger, StreamId};
 use st_dist::ddp::{self, DdpContext, GradBuckets};
 use st_dist::launch::{self, run_workers, WorkerCtx};
 use st_dist::shuffle;
+use st_dist::staleness::StalenessWindow;
 use st_models::Seq2Seq;
 use st_tensor::Tensor;
 
@@ -272,8 +280,9 @@ impl StepLoop {
     }
 }
 
-/// Engine knobs beyond [`DistConfig`]: checkpoint capture and resume.
-#[derive(Debug, Clone, Default)]
+/// Engine knobs beyond [`DistConfig`]: checkpoint capture/resume and the
+/// learning-rate schedule.
+#[derive(Clone, Default)]
 pub struct EngineOptions {
     /// Serialized [`Checkpoint`] to restore before training. Every rank
     /// restores the same bytes (preserving replica equality) and the run
@@ -283,6 +292,47 @@ pub struct EngineOptions {
     /// Capture a rank-0 checkpoint (model + Adam + next epoch) at the end
     /// of the run, returned in [`EngineReport::checkpoint`].
     pub capture_checkpoint: bool,
+    /// Epoch-indexed learning-rate schedule, applied at the top of every
+    /// epoch (`schedule.apply(&mut opt, epoch)`), so a resumed run
+    /// re-applies `lr_at(start_epoch)` instead of restarting at the base
+    /// rate. `None` means a constant [`DistConfig::effective_lr`] — the
+    /// schedule-free behavior, bit-identical to setting
+    /// `ConstantLr(cfg.effective_lr())` explicitly.
+    pub schedule: Option<std::sync::Arc<dyn LrSchedule + Send + Sync>>,
+}
+
+impl std::fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("resume", &self.resume.as_ref().map(|b| b.len()))
+            .field("capture_checkpoint", &self.capture_checkpoint)
+            .field("schedule", &self.schedule.is_some())
+            .finish()
+    }
+}
+
+/// Errors an engine run can surface instead of panicking mid-rank.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The [`EngineOptions::resume`] bytes failed to decode or did not
+    /// match the model being restored into.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Checkpoint(e) => write!(f, "resume checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
 }
 
 /// What one engine run reports.
@@ -341,13 +391,14 @@ struct RankOutcome {
 
 /// Run the unified distributed epoch loop: one worker per rank, each with
 /// its own plane (from `plane_factory`) and model replica (from
-/// `model_factory`).
+/// `model_factory`). Fails only when [`EngineOptions::resume`] bytes are
+/// rejected — a run without resume cannot error.
 pub fn run<P, PF, MF>(
     cfg: &DistConfig,
     opts: &EngineOptions,
     plane_factory: PF,
     model_factory: MF,
-) -> EngineReport
+) -> Result<EngineReport, EngineError>
 where
     P: DistDataPlane,
     PF: Fn(usize, &CostModel) -> P + Sync,
@@ -360,7 +411,8 @@ where
         let model = model_factory(&plane);
         run_rank(cfg, opts, &plane, model.as_ref(), &mut ctx, &cm)
     });
-    assemble(outcomes, start)
+    let outcomes = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(assemble(outcomes, start))
 }
 
 /// Run the engine inline as a one-rank world, returning the trained model
@@ -390,11 +442,16 @@ where
 ///     // from the dataset at runtime through the plane's forward hook.
 ///     let model = PgtDcrnn::new(mc, ds.supports_for(0)[0], 42);
 ///     (DynamicPlane::new(ds, 42), model)
-/// });
+/// })
+/// .expect("no resume bytes to reject");
 /// assert_eq!(report.epochs.len(), 2);
 /// assert!(report.epochs[1].train_loss.is_finite());
 /// ```
-pub fn run_single<P, M, B>(cfg: &DistConfig, opts: &EngineOptions, build: B) -> (EngineReport, M)
+pub fn run_single<P, M, B>(
+    cfg: &DistConfig,
+    opts: &EngineOptions,
+    build: B,
+) -> Result<(EngineReport, M), EngineError>
 where
     P: DistDataPlane,
     M: Seq2Seq,
@@ -408,7 +465,7 @@ where
         let outcome = run_rank(cfg, opts, &plane, &model, &mut ctx, &cm);
         (outcome, model)
     });
-    (assemble(vec![outcome], start), model)
+    Ok((assemble(vec![outcome?], start), model))
 }
 
 /// The per-rank epoch loop — the six former hand-copied loops, once.
@@ -419,10 +476,15 @@ fn run_rank<P: DistDataPlane>(
     model: &dyn Seq2Seq,
     ctx: &mut WorkerCtx,
     cm: &CostModel,
-) -> RankOutcome {
+) -> Result<RankOutcome, EngineError> {
     let step = StepLoop {
         grad_clip: cfg.grad_clip,
     };
+    // Deterministic straggler injection: scale this rank's modeled compute
+    // by the cost model's linear skew ramp. Pure time — numerics never see
+    // it (pinned by `straggler_noise_never_leaks_into_numerics`).
+    ctx.clock
+        .set_compute_scale(cm.straggler_scale(ctx.rank(), ctx.world(), cfg.straggler_skew));
     let sync = plane.sync_gradients();
     if sync {
         ddp::broadcast_parameters(&model.params(), &mut ctx.comm);
@@ -433,25 +495,39 @@ fn run_rank<P: DistDataPlane>(
     // completion order), refined per step by the tape's actual
     // completion sequence for the fire points. The legacy flat
     // `DdpContext` is built only when bucketing is off, so each rank
-    // holds one set of persistent sync buffers, not two.
-    let mut buckets = match cfg.grad_bucket_bytes {
-        Some(cap) if sync => {
+    // holds one set of persistent sync buffers, not two. Bounded
+    // staleness rides the bucketed machinery, so a flat config with
+    // `staleness ≥ 1` gets one whole-model bucket.
+    let mut buckets = match (cfg.grad_bucket_bytes, cfg.staleness) {
+        (Some(cap), _) if sync => {
             let mut params = model.params();
             params.reverse();
             Some(GradBuckets::new(params, cap))
         }
+        (None, s) if sync && s > 0 => {
+            let mut params = model.params();
+            params.reverse();
+            Some(GradBuckets::new(params, usize::MAX))
+        }
         _ => None,
     };
     let mut ddp = (sync && buckets.is_none()).then(|| DdpContext::new(model.params()));
+    let mut window = (sync && cfg.staleness > 0).then(|| StalenessWindow::new(cfg.staleness));
     let mut fire: Option<Vec<f64>> = None;
     let mut opt = Adam::new(model.params(), cfg.effective_lr());
     let mut start_epoch = 0u64;
     if let Some(bytes) = &opts.resume {
-        let ck = Checkpoint::from_bytes(bytes).expect("valid checkpoint bytes");
-        start_epoch = ck
-            .restore(&model.params(), &mut opt)
-            .expect("checkpoint matches model");
+        let ck = Checkpoint::from_bytes(bytes)?;
+        start_epoch = ck.restore(&model.params(), &mut opt)?;
     }
+    // The schedule is applied at the top of *every* epoch — including the
+    // first after a resume, which therefore re-enters at `lr_at(start)`
+    // instead of silently restarting from the base rate.
+    let constant = ConstantLr(cfg.effective_lr());
+    let schedule: &dyn LrSchedule = match &opts.schedule {
+        Some(s) => s.as_ref(),
+        None => &constant,
+    };
     let gpu_flops = cm.gpu_flops;
 
     // The overlap scheduler: one FIFO ledger for every concurrent comm
@@ -473,8 +549,11 @@ fn run_rank<P: DistDataPlane>(
     let mut epoch_stats = Vec::with_capacity(cfg.epochs);
     let mut val_series = Vec::with_capacity(cfg.epochs);
     for epoch in start_epoch..cfg.epochs as u64 {
+        schedule.apply(&mut opt, epoch as usize);
         let comm_mark = ctx.clock.comm_secs();
         let hidden_mark = overlap.hidden_secs();
+        let stale_mark = window.as_ref().map_or(0, |w| w.stale_applied());
+        let fence_mark = window.as_ref().map_or(0, |w| w.fence_stalls());
         let plan = plane.plan_epoch(epoch);
         // With synchronized gradients every rank must enter the same
         // number of per-step collectives; exhausted ranks contribute
@@ -522,7 +601,9 @@ fn run_rank<P: DistDataPlane>(
                 };
                 // The completion trace is a pure function of the model
                 // structure: sample it on this rank's first step only.
-                let trace = buckets.is_some() && fire.is_none();
+                // Staleness never interleaves collectives with the
+                // backward, so it has no use for fire points.
+                let trace = buckets.is_some() && window.is_none() && fire.is_none();
                 let (l, completion) = step.forward_backward_traced(
                     |tape| plane.forward(model, tape, ids, &x),
                     &y,
@@ -542,8 +623,36 @@ fn run_rank<P: DistDataPlane>(
             // Forward compute hides whatever was already in flight
             // (setup remainder, the double-buffered fetch).
             overlap.credit(fwd_secs);
-            match buckets.as_mut() {
-                Some(b) => {
+            match (buckets.as_mut(), window.as_mut()) {
+                (Some(b), Some(w)) => {
+                    // Bounded staleness: every bucket becomes a deadline
+                    // stream completing at the collective's cross-rank
+                    // `ready_at` — no rendezvous, the rank's own clock
+                    // keeps running. The averaged payload is captured now
+                    // (contents are never cross-rank stale; *application*
+                    // is what the bound delays) and applied when the
+                    // stream arrives, or force-fenced at age `s`.
+                    overlap.credit(bwd_secs);
+                    for i in 0..b.num_buckets() {
+                        let ready_at = b.reduce_bucket_async(i, &mut ctx.comm);
+                        let stream = overlap.begin_at(ready_at, ctx.clock.now());
+                        let mut buf = w.payload_buf();
+                        buf.extend_from_slice(b.bucket_payload(i));
+                        w.launch(i, round as u64, buf, stream);
+                    }
+                    // Local grads were folded into the payloads above;
+                    // drop them so settled payloads accumulate cleanly.
+                    opt.zero_grad();
+                    let applied = w.settle(round as u64, &mut overlap, &ctx.clock, |i, p| {
+                        b.apply_stale(i, p)
+                    });
+                    // Adam's bias-correction step count must only tick
+                    // when a gradient actually lands.
+                    if applied > 0 {
+                        step.clip_and_step(&model.params(), &mut opt);
+                    }
+                }
+                (Some(b), None) => {
                     // Pipelined sync: walk the buckets in firing order,
                     // crediting the backward segment up to each fire
                     // point before its quoted collective begins, so
@@ -564,15 +673,26 @@ fn run_rank<P: DistDataPlane>(
                     for stream in in_flight {
                         overlap.wait(stream, &ctx.clock);
                     }
+                    step.clip_and_step(&model.params(), &mut opt);
                 }
-                None => {
+                (None, _) => {
                     overlap.credit(bwd_secs);
                     if let Some(d) = ddp.as_mut() {
                         d.average_gradients(&mut ctx.comm);
                     }
+                    step.clip_and_step(&model.params(), &mut opt);
                 }
             }
-            step.clip_and_step(&model.params(), &mut opt);
+        }
+        // Epoch boundary: nothing stale may leak into the metric
+        // reductions or the next epoch — settle every in-flight gradient,
+        // fencing whatever has not arrived.
+        if let (Some(b), Some(w)) = (buckets.as_mut(), window.as_mut()) {
+            opt.zero_grad();
+            let applied = w.flush(&mut overlap, &ctx.clock, |i, p| b.apply_stale(i, p));
+            if applied > 0 {
+                step.clip_and_step(&model.params(), &mut opt);
+            }
         }
 
         // Mean training loss across contributing ranks (rank-order
@@ -623,20 +743,39 @@ fn run_rank<P: DistDataPlane>(
             val_mae,
             hidden_comm_secs: overlap.hidden_secs() - hidden_mark,
             exposed_comm_secs: ctx.clock.comm_secs() - comm_mark,
+            stale_steps_applied: window.as_ref().map_or(0, |w| w.stale_applied()) - stale_mark,
+            fence_stalls: window.as_ref().map_or(0, |w| w.fence_stalls()) - fence_mark,
         });
+    }
+    // Resuming at or past the configured horizon trains nothing; report
+    // one explicit zero-epoch marker (NaN metrics, zero time and counters)
+    // instead of silently empty series.
+    if start_epoch >= cfg.epochs as u64 && opts.resume.is_some() {
+        epoch_stats.push(DistEpochStats {
+            epoch: start_epoch as usize,
+            train_loss: f32::NAN,
+            val_mae: f32::NAN,
+            hidden_comm_secs: 0.0,
+            exposed_comm_secs: 0.0,
+            stale_steps_applied: 0,
+            fence_stalls: 0,
+        });
+        val_series.push((0.0, 0));
     }
     // Any quoted time never hidden by compute (the setup remainder) is
     // still owed.
     overlap.wait_all(&ctx.clock);
 
     let checkpoint = (opts.capture_checkpoint && ctx.rank() == 0).then(|| {
-        Checkpoint::capture(&model.params(), &opt, cfg.epochs as u64)
+        // A zero-epoch resume re-captures at the checkpoint's own epoch —
+        // round-tripping must not rewind it.
+        Checkpoint::capture(&model.params(), &opt, (cfg.epochs as u64).max(start_epoch))
             .to_bytes()
             .to_vec()
     });
     // Let every rank finish fetching before the shared ledger is read.
     ctx.comm.barrier();
-    RankOutcome {
+    Ok(RankOutcome {
         epochs: epoch_stats,
         val_series,
         compute_secs: ctx.clock.compute_secs(),
@@ -645,7 +784,7 @@ fn run_rank<P: DistDataPlane>(
         hub_bytes: ctx.comm.hub().bytes_moved(),
         ledger_bytes: plane.ledger_bytes(),
         checkpoint,
-    }
+    })
 }
 
 fn assemble(mut outcomes: Vec<RankOutcome>, start: std::time::Instant) -> EngineReport {
@@ -765,7 +904,8 @@ mod tests {
             &EngineOptions::default(),
             |rank, _cm| ToyPlane { rank, ragged: true },
             |_| Box::new(ToyModel::new()),
-        );
+        )
+        .expect("no resume");
         let loss = r.epochs[0].train_loss;
         assert!(loss > 1.0, "train loss {loss} diluted by a zero-batch rank");
     }
@@ -779,6 +919,7 @@ mod tests {
                 move |rank, _cm| ToyPlane { rank, ragged },
                 |_| Box::new(ToyModel::new()),
             )
+            .expect("no resume")
         };
         let flat = toy(None, false);
         // A 4-byte cap puts w and b in separate buckets; the b-bucket

@@ -292,6 +292,7 @@ where
         },
         |plane: &HaloEntryPlane| model_factory(plane.dataset()),
     )
+    .expect("engine run without resume cannot fail")
     .into_dist_result()
 }
 

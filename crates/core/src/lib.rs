@@ -50,7 +50,7 @@ pub mod trainer;
 pub mod workflow;
 
 pub use dist_index::{DistConfig, DistRunResult};
-pub use engine::{DistDataPlane, EngineOptions, EngineReport, StepLoop};
+pub use engine::{DistDataPlane, EngineError, EngineOptions, EngineReport, StepLoop};
 pub use index_batching::IndexDataset;
 pub use memory_model::{index_batching_bytes, standard_preprocess_bytes};
 pub use projection::{ProjectionParams, ScalingPoint};

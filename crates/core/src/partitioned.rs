@@ -343,7 +343,8 @@ pub fn run_partitioned(
             part_flops.lock().unwrap()[plane.rank()] = model.flops_per_forward(1);
             Box::new(model) as Box<dyn Seq2Seq>
         },
-    );
+    )
+    .expect("engine run without resume cannot fail");
     let part_flops = part_flops.into_inner().unwrap();
 
     let mut parts = Vec::with_capacity(cfg.parts);

@@ -15,12 +15,27 @@ pub struct SimClock {
     inner: Arc<Mutex<ClockInner>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ClockInner {
     now: f64,
     compute: f64,
     communication: f64,
     io: f64,
+    /// Multiplier applied to every compute advance — the straggler
+    /// injection knob. 1.0 models a healthy rank; >1.0 a slow one.
+    compute_scale: f64,
+}
+
+impl Default for ClockInner {
+    fn default() -> Self {
+        ClockInner {
+            now: 0.0,
+            compute: 0.0,
+            communication: 0.0,
+            io: 0.0,
+            compute_scale: 1.0,
+        }
+    }
 }
 
 impl SimClock {
@@ -34,11 +49,28 @@ impl SimClock {
         self.inner.lock().now
     }
 
-    /// Advance by `secs` of compute time.
+    /// Advance by `secs` of compute time, scaled by the straggler knob
+    /// ([`SimClock::set_compute_scale`]). The default scale is 1.0, so
+    /// un-skewed clocks charge exactly `secs`.
     pub fn advance_compute(&self, secs: f64) {
         let mut i = self.inner.lock();
-        i.now += secs;
-        i.compute += secs;
+        let scaled = secs * i.compute_scale;
+        i.now += scaled;
+        i.compute += scaled;
+    }
+
+    /// Set the straggler compute multiplier (≥ 0; 1.0 = healthy rank).
+    /// Timing only — the scale shapes this clock's modeled seconds and can
+    /// never touch numerics directly (DESIGN.md §2); under bounded
+    /// staleness the *engine* may consult modeled arrival times, which is
+    /// the documented, deterministic relaxation of that invariant.
+    pub fn set_compute_scale(&self, scale: f64) {
+        self.inner.lock().compute_scale = scale.max(0.0);
+    }
+
+    /// The current straggler compute multiplier.
+    pub fn compute_scale(&self) -> f64 {
+        self.inner.lock().compute_scale
     }
 
     /// Advance by `secs` of communication time.
@@ -112,6 +144,20 @@ mod tests {
         c.sync_to(8.0);
         assert_eq!(c.now(), 8.0);
         assert_eq!(c.comm_secs(), 3.0, "waiting charged to communication");
+    }
+
+    #[test]
+    fn compute_scale_slows_compute_only() {
+        let c = SimClock::new();
+        c.set_compute_scale(1.5);
+        c.advance_compute(2.0);
+        c.advance_comm(1.0);
+        assert_eq!(c.compute_secs(), 3.0, "compute scaled by the knob");
+        assert_eq!(c.comm_secs(), 1.0, "comm unaffected");
+        assert_eq!(c.now(), 4.0);
+        c.set_compute_scale(1.0);
+        c.advance_compute(1.0);
+        assert_eq!(c.compute_secs(), 4.0, "scale is live-settable");
     }
 
     #[test]

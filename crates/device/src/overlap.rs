@@ -17,6 +17,16 @@
 //! streams in issue (FIFO) order, mirroring the engine's historical
 //! "setup first, then the prefetched batch" priority.
 //!
+//! Streams come in two flavors:
+//!
+//! - **credit streams** ([`OverlapLedger::begin`]) carry a relative quote
+//!   that compute credits drain — the prefetch/bucket-overlap model;
+//! - **deadline streams** ([`OverlapLedger::begin_at`]) complete at an
+//!   absolute modeled instant (a collective's cross-rank `ready_at`) —
+//!   the bounded-staleness model, where a rank's own clock advancing past
+//!   the deadline is what hides the transfer, and a wait before the
+//!   deadline is a *fence stall* charged as the remaining gap.
+//!
 //! Determinism invariant (DESIGN.md §2): the ledger only ever moves
 //! *time* — payloads exist from the moment they are quoted, so nothing
 //! here can influence numerics.
@@ -27,12 +37,25 @@ use crate::clock::SimClock;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamId(u64);
 
+/// One in-flight stream's accounting state.
+#[derive(Debug)]
+struct Stream {
+    id: u64,
+    /// Seconds of the original quote not yet hidden (credit streams drain
+    /// this via [`OverlapLedger::credit`]; deadline streams keep the full
+    /// quote here and split it hidden/charged at wait time).
+    exposed: f64,
+    /// Absolute completion instant for deadline streams; `None` for
+    /// credit streams.
+    deadline: Option<f64>,
+}
+
 /// FIFO accounting for concurrent communication streams overlapped with
 /// compute. See the module docs for the quote/credit/settle protocol.
 #[derive(Debug, Default)]
 pub struct OverlapLedger {
-    /// In-flight streams in issue order: `(id, exposed seconds left)`.
-    streams: Vec<(u64, f64)>,
+    /// In-flight streams in issue order.
+    streams: Vec<Stream>,
     next_id: u64,
     hidden: f64,
     charged: f64,
@@ -50,48 +73,97 @@ impl OverlapLedger {
     pub fn begin(&mut self, secs: f64) -> StreamId {
         let id = self.next_id;
         self.next_id += 1;
-        self.streams.push((id, secs.max(0.0)));
+        self.streams.push(Stream {
+            id,
+            exposed: secs.max(0.0),
+            deadline: None,
+        });
         StreamId(id)
+    }
+
+    /// Issue a transfer that completes at the absolute modeled instant
+    /// `ready_at`, quoted from a clock currently at `now` (the exposed
+    /// quote is `ready_at − now`, clamped at zero). Unlike credit streams,
+    /// compute credits do not drain a deadline stream — the rank's own
+    /// clock advancing past the deadline is what hides it; see
+    /// [`OverlapLedger::wait`].
+    pub fn begin_at(&mut self, ready_at: f64, now: f64) -> StreamId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.streams.push(Stream {
+            id,
+            exposed: (ready_at - now).max(0.0),
+            deadline: Some(ready_at),
+        });
+        StreamId(id)
+    }
+
+    /// Whether `id` has completed by modeled time `now`: a deadline stream
+    /// is ready once `now` reaches its deadline; a credit stream once its
+    /// quote is fully drained. Unknown (already settled) ids are ready.
+    pub fn ready(&self, id: StreamId, now: f64) -> bool {
+        match self.streams.iter().find(|s| s.id == id.0) {
+            Some(s) => match s.deadline {
+                Some(d) => now >= d,
+                None => s.exposed <= 0.0,
+            },
+            None => true,
+        }
     }
 
     /// Credit `secs` of concurrent compute against the in-flight streams,
     /// draining them in issue order (the interconnect is one resource: a
     /// compute second hides at most one comm second across all streams).
+    /// Deadline streams are skipped — their completion is pinned to an
+    /// absolute instant, not to accumulated compute.
     pub fn credit(&mut self, mut secs: f64) {
-        for (_, exposed) in self.streams.iter_mut() {
+        for s in self.streams.iter_mut() {
             if secs <= 0.0 {
                 break;
             }
-            let hide = exposed.min(secs);
-            *exposed -= hide;
+            if s.deadline.is_some() {
+                continue;
+            }
+            let hide = s.exposed.min(secs);
+            s.exposed -= hide;
             secs -= hide;
             self.hidden += hide;
         }
     }
 
-    /// Block on one stream: charge its exposed remainder to `clock` and
-    /// retire it. Panics on an unknown (already settled) id — a settled
-    /// stream's payload was already consumed once.
+    /// Block on one stream and retire it. A credit stream charges its
+    /// undrained remainder to `clock`. A deadline stream charges the gap
+    /// from `clock`'s now to its deadline (zero once the clock has moved
+    /// past it — the stream completed *while* the rank was computing) and
+    /// books the rest of its quote as hidden. Panics on an unknown
+    /// (already settled) id — a settled stream's payload was already
+    /// consumed once.
     pub fn wait(&mut self, id: StreamId, clock: &SimClock) {
         let pos = self
             .streams
             .iter()
-            .position(|(sid, _)| *sid == id.0)
+            .position(|s| s.id == id.0)
             .expect("stream already settled");
-        let (_, exposed) = self.streams.remove(pos);
-        if exposed > 0.0 {
-            clock.advance_comm(exposed);
-            self.charged += exposed;
+        let s = self.streams.remove(pos);
+        let charge = match s.deadline {
+            Some(deadline) => (deadline - clock.now()).max(0.0).min(s.exposed),
+            None => s.exposed,
+        };
+        if charge > 0.0 {
+            clock.advance_comm(charge);
+            self.charged += charge;
+        }
+        if s.deadline.is_some() {
+            self.hidden += s.exposed - charge;
         }
     }
 
     /// Settle every in-flight stream (end of run: whatever compute never
-    /// hid is still owed).
+    /// hid is still owed), in issue order.
     pub fn wait_all(&mut self, clock: &SimClock) {
-        let owed: f64 = self.streams.drain(..).map(|(_, e)| e).sum();
-        if owed > 0.0 {
-            clock.advance_comm(owed);
-            self.charged += owed;
+        while let Some(s) = self.streams.first() {
+            let id = StreamId(s.id);
+            self.wait(id, clock);
         }
     }
 
@@ -175,6 +247,69 @@ mod tests {
         let s = ol.begin(0.0);
         ol.wait(s, &clock);
         assert_eq!(clock.comm_secs(), 0.0);
+    }
+
+    #[test]
+    fn deadline_stream_charges_the_gap_to_its_deadline() {
+        // A fence before the deadline pays exactly the remaining gap.
+        let clock = SimClock::new();
+        clock.advance_compute(1.0);
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin_at(4.0, clock.now()); // 3 s quote
+        assert!(!ol.ready(s, clock.now()));
+        clock.advance_compute(1.0); // now = 2.0
+        ol.wait(s, &clock);
+        assert_eq!(clock.now(), 4.0, "fence lands exactly on the deadline");
+        assert_eq!(ol.charged_secs(), 2.0, "gap charged");
+        assert_eq!(ol.hidden_secs(), 1.0, "compute-elapsed share hidden");
+    }
+
+    #[test]
+    fn deadline_stream_passed_by_the_clock_is_free() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin_at(2.0, clock.now());
+        clock.advance_compute(5.0); // rank computed past the deadline
+        assert!(ol.ready(s, clock.now()));
+        ol.wait(s, &clock);
+        assert_eq!(clock.comm_secs(), 0.0, "nothing left to pay");
+        assert_eq!(ol.hidden_secs(), 2.0, "entire quote hidden by compute");
+    }
+
+    #[test]
+    fn credit_never_drains_deadline_streams() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let d = ol.begin_at(3.0, clock.now());
+        let c = ol.begin(1.0);
+        ol.credit(10.0);
+        assert!(ol.ready(c, clock.now()), "credit stream fully drained");
+        assert!(!ol.ready(d, clock.now()), "deadline pinned to the clock");
+        ol.wait(d, &clock);
+        assert_eq!(clock.comm_secs(), 3.0, "deadline gap still owed in full");
+    }
+
+    #[test]
+    fn settled_ids_report_ready() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        let s = ol.begin(1.0);
+        ol.wait(s, &clock);
+        assert!(ol.ready(s, clock.now()));
+    }
+
+    #[test]
+    fn wait_all_settles_deadline_streams_in_order() {
+        let clock = SimClock::new();
+        let mut ol = OverlapLedger::new();
+        ol.begin_at(1.0, 0.0);
+        ol.begin_at(3.0, 0.0);
+        ol.wait_all(&clock);
+        // First fence moves the clock to 1.0 (charging 1.0); the second
+        // charges only the remaining 2.0 — fences never double-pay.
+        assert_eq!(clock.now(), 3.0);
+        assert_eq!(ol.charged_secs(), 3.0);
+        assert_eq!(ol.hidden_secs(), 1.0, "second quote partly elapsed");
     }
 
     #[test]

@@ -87,6 +87,33 @@ impl FlatChunk {
             p.set_grad(Some(t.clone()));
         }
     }
+
+    /// Scatter the scratch buffer into the parameters' gradients,
+    /// **adding** to any gradient already present — the settle path of the
+    /// bounded-staleness window, where two delayed collectives of the same
+    /// bucket may land in one optimizer round and must both be applied
+    /// (summing ≈ gradient accumulation across the deferred steps).
+    fn scatter_grads_accumulate(&mut self) {
+        let mut offset = 0;
+        for p in &self.params {
+            let n = p.numel();
+            let span = &self.scratch[offset..offset + n];
+            offset += n;
+            let acc = match p.grad() {
+                Some(g) => {
+                    let mut v = g.to_vec();
+                    for (a, s) in v.iter_mut().zip(span) {
+                        *a += *s;
+                    }
+                    Tensor::from_vec(v, g.dims().to_vec()).expect("grad shape")
+                }
+                None => {
+                    Tensor::from_vec(span.to_vec(), p.value().dims().to_vec()).expect("param shape")
+                }
+            };
+            p.set_grad(Some(acc));
+        }
+    }
 }
 
 /// Per-replica DDP state: the parameter list this worker synchronizes as
@@ -222,6 +249,39 @@ impl GradBuckets {
         let secs = comm.all_reduce_mean_quoted(&mut chunk.scratch);
         chunk.scatter_grads();
         secs
+    }
+
+    /// All-reduce-mean bucket `i` as a **non-blocking** collective for the
+    /// bounded-staleness engine: gather this rank's gradients, combine
+    /// across ranks (eager, rank-order, bit-identical to every other
+    /// variant), and leave the averaged payload in the bucket's scratch —
+    /// readable via [`GradBuckets::bucket_payload`] — *without* scattering
+    /// into the parameters and without touching this rank's clock. Returns
+    /// the absolute modeled instant the result is available
+    /// ([`Comm::all_reduce_mean_async`]); application is deferred to
+    /// [`GradBuckets::apply_stale`] whenever the staleness window settles.
+    pub fn reduce_bucket_async(&mut self, i: usize, comm: &mut Comm) -> f64 {
+        let chunk = &mut self.buckets[i];
+        chunk.gather_grads();
+        comm.all_reduce_mean_async(&mut chunk.scratch)
+    }
+
+    /// Bucket `i`'s most recently reduced payload (the averaged gradient
+    /// left by [`GradBuckets::reduce_bucket_async`]). Copy it out before
+    /// the next step's reduce reuses the scratch.
+    pub fn bucket_payload(&self, i: usize) -> &[f32] {
+        &self.buckets[i].scratch
+    }
+
+    /// Apply a previously captured averaged-gradient `payload` to bucket
+    /// `i`'s parameters, **adding** to any gradient already present (two
+    /// deferred steps of the same bucket settling in one round accumulate,
+    /// so no averaged gradient is ever dropped).
+    pub fn apply_stale(&mut self, i: usize, payload: &[f32]) {
+        let chunk = &mut self.buckets[i];
+        assert_eq!(payload.len(), chunk.numel, "payload matches bucket");
+        chunk.scratch.copy_from_slice(payload);
+        chunk.scatter_grads_accumulate();
     }
 
     /// The modeled backward fraction at which each bucket can fire, given
@@ -389,6 +449,72 @@ mod tests {
         for (flat, bucketed) in out {
             assert_eq!(flat, bucketed, "bucketing must not change a single bit");
         }
+    }
+
+    #[test]
+    fn async_reduce_plus_apply_matches_the_quoted_path_bitwise() {
+        let out = run_workers(2, ClusterTopology::polaris(), |mut ctx| {
+            let rank = ctx.rank();
+            let make = |tag: &str| {
+                let ps = vec![
+                    param(&format!("{tag}.a"), vec![0.0; 3]),
+                    param(&format!("{tag}.b"), vec![0.0; 4]),
+                ];
+                for (i, p) in ps.iter().enumerate() {
+                    let v: Vec<f32> = (0..p.numel())
+                        .map(|j| (rank * 11 + i * 5 + j) as f32 * 0.3)
+                        .collect();
+                    let n = v.len();
+                    p.set_grad(Some(Tensor::from_vec(v, [n]).unwrap()));
+                }
+                ps
+            };
+            let sync_ps = make("sync");
+            let mut sync = GradBuckets::new(sync_ps.clone(), 12);
+            for i in 0..sync.num_buckets() {
+                sync.reduce_bucket_quoted(i, &mut ctx.comm);
+            }
+
+            let async_ps = make("async");
+            let mut buckets = GradBuckets::new(async_ps.clone(), 12);
+            let payloads: Vec<Vec<f32>> = (0..buckets.num_buckets())
+                .map(|i| {
+                    buckets.reduce_bucket_async(i, &mut ctx.comm);
+                    buckets.bucket_payload(i).to_vec()
+                })
+                .collect();
+            // Deferred application: drop the local grads (the engine does
+            // this before settling) and apply the captured payloads.
+            for p in &async_ps {
+                p.zero_grad();
+            }
+            for (i, payload) in payloads.iter().enumerate() {
+                buckets.apply_stale(i, payload);
+            }
+            let bits = |ps: &[Param]| -> Vec<u32> {
+                ps.iter()
+                    .flat_map(|p| p.grad().unwrap().to_vec())
+                    .map(f32::to_bits)
+                    .collect()
+            };
+            (bits(&sync_ps), bits(&async_ps))
+        });
+        for (sync, stale) in out {
+            assert_eq!(sync, stale, "deferred apply must not change a bit");
+        }
+    }
+
+    #[test]
+    fn apply_stale_accumulates_same_bucket_payloads() {
+        let p = param("w", vec![0.0; 2]);
+        let mut b = GradBuckets::new(vec![p.clone()], 64);
+        b.apply_stale(0, &[1.0, 2.0]);
+        b.apply_stale(0, &[10.0, 20.0]);
+        assert_eq!(
+            p.grad().unwrap().to_vec(),
+            vec![11.0, 22.0],
+            "two deferred steps of one bucket must both land"
+        );
     }
 
     #[test]

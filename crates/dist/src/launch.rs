@@ -91,8 +91,19 @@ impl Comm {
     /// order. The building block for every collective below. Synchronizes
     /// simulated clocks to the slowest rank.
     fn exchange(&mut self, payload: Vec<f32>) -> Vec<Vec<f32>> {
+        let (t_max, all) = self.exchange_unsynced(payload);
+        self.clock.sync_to(t_max);
+        all
+    }
+
+    /// [`Comm::exchange`] without the closing clock rendezvous: returns
+    /// `(t_max, payloads)` where `t_max` is the slowest participating
+    /// rank's simulated time. The bounded-staleness path builds on this —
+    /// the payloads are combined eagerly (numerics never wait), while the
+    /// caller decides when, if ever, its clock observes `t_max`.
+    fn exchange_unsynced(&mut self, payload: Vec<f32>) -> (f64, Vec<Vec<f32>>) {
         if self.hub.world == 1 {
-            return vec![payload];
+            return (self.clock.now(), vec![payload]);
         }
         {
             let mut slots = self.hub.slots.lock().unwrap();
@@ -115,8 +126,7 @@ impl Comm {
         // Everyone has read; only now may a rank start the next collective
         // (its slot write would otherwise race a slow reader).
         self.hub.barrier.wait();
-        self.clock.sync_to(t_max);
-        all
+        (t_max, all)
     }
 
     /// Record `bytes` on the shared traffic ledger. Rank 0 posts the whole
@@ -208,6 +218,40 @@ impl Comm {
             }
         }
         self.quote_allreduce(n)
+    }
+
+    /// [`Comm::all_reduce_mean`] as a **non-blocking** collective for the
+    /// bounded-staleness engine: the rank-order mean is in `buf` on return
+    /// (numerics identical to every other variant) and the bytes are
+    /// ledgered, but this rank's clock neither rendezvouses with the
+    /// slowest rank nor pays the ring's wire time. Instead the absolute
+    /// modeled instant at which the result is *available* —
+    /// `t_slowest + wire` — comes back, for an
+    /// [`st_device::OverlapLedger::begin_at`] deadline stream.
+    pub fn all_reduce_mean_async(&mut self, buf: &mut [f32]) -> f64 {
+        let world = self.hub.world as f32;
+        let ready_at = self.all_reduce_sum_async(buf);
+        for v in buf.iter_mut() {
+            *v /= world;
+        }
+        ready_at
+    }
+
+    /// [`Comm::all_reduce_sum`] as a non-blocking collective (see
+    /// [`Comm::all_reduce_mean_async`]). Returns the absolute modeled
+    /// completion instant; never touches this rank's clock.
+    pub fn all_reduce_sum_async(&mut self, buf: &mut [f32]) -> f64 {
+        let n = buf.len();
+        self.ledger_collective(self.allreduce_ledger_bytes(n));
+        let (t_max, all) = self.exchange_unsynced(buf.to_vec());
+        buf.fill(0.0);
+        for contribution in &all {
+            assert_eq!(contribution.len(), n, "all-reduce length mismatch");
+            for (acc, v) in buf.iter_mut().zip(contribution) {
+                *acc += v;
+            }
+        }
+        t_max + self.quote_allreduce(n)
     }
 
     /// Gather one scalar from every rank, in rank order.
@@ -396,6 +440,41 @@ mod tests {
             assert!((quote - charged_secs).abs() < 1e-12, "same modeled time");
             assert_eq!(after, charged_secs, "quote did not touch the clock");
         }
+    }
+
+    #[test]
+    fn async_all_reduce_matches_sync_numerics_without_rendezvous() {
+        let out = run_workers(3, ClusterTopology::polaris(), |mut ctx| {
+            // Skew the clocks so the rendezvous would be visible.
+            ctx.clock.advance_compute(ctx.rank() as f64);
+            let mut sync_buf = vec![ctx.rank() as f32 + 1.0; 16];
+            let mut async_buf = sync_buf.clone();
+            let before = ctx.clock.now();
+            let ready_at = ctx.comm.all_reduce_mean_async(&mut async_buf);
+            let after = ctx.clock.now();
+            ctx.comm.all_reduce_mean(&mut sync_buf);
+            (sync_buf, async_buf, before, after, ready_at)
+        });
+        for (sync_buf, async_buf, before, after, ready_at) in out {
+            assert_eq!(sync_buf, async_buf, "identical rank-order mean");
+            assert_eq!(before, after, "async variant never moves the clock");
+            // Result is available strictly after the slowest rank (t=2.0)
+            // contributed plus the ring's wire time.
+            assert!(ready_at > 2.0, "ready_at = {ready_at}");
+        }
+    }
+
+    #[test]
+    fn single_rank_async_all_reduce_is_immediately_ready() {
+        let out = run_workers(1, ClusterTopology::polaris(), |mut ctx| {
+            ctx.clock.advance_compute(1.5);
+            let mut buf = vec![4.0f32; 4];
+            let ready_at = ctx.comm.all_reduce_mean_async(&mut buf);
+            (buf, ready_at, ctx.clock.now())
+        });
+        let (buf, ready_at, now) = &out[0];
+        assert_eq!(*buf, vec![4.0f32; 4]);
+        assert_eq!(*ready_at, *now, "no peers, no wire: ready now");
     }
 
     #[test]

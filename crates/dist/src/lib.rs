@@ -25,12 +25,16 @@
 //!   ledger).
 //! - [`prefetch`] — [`prefetch::Prefetcher`]: double-buffered fetches that
 //!   overlap the data plane with compute (§7).
+//! - [`staleness`] — [`staleness::StalenessWindow`]: the bounded-staleness
+//!   window over in-flight gradient collectives (apply-at-arrival with a
+//!   hard fence at age `s`; `s = 0` is the synchronous path).
 
 pub mod datasvc;
 pub mod ddp;
 pub mod launch;
 pub mod prefetch;
 pub mod shuffle;
+pub mod staleness;
 pub mod topology;
 
 pub use datasvc::{DistributedArray, PartitionPolicy};
@@ -38,4 +42,5 @@ pub use ddp::{DdpContext, GradBuckets, DEFAULT_GRAD_BUCKET_BYTES};
 pub use launch::{run_workers, Comm, CommHub, WorkerCtx};
 pub use prefetch::Prefetcher;
 pub use shuffle::ShuffleStrategy;
+pub use staleness::StalenessWindow;
 pub use topology::ClusterTopology;

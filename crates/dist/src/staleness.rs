@@ -1,0 +1,278 @@
+//! The bounded-staleness window over in-flight gradient collectives.
+//!
+//! MSPipe-style bounded staleness (PAPERS.md) relaxes the synchronous
+//! step barrier: a rank may run up to `s` steps ahead of a gradient
+//! collective it has issued, applying the averaged result whenever it
+//! *arrives* (its modeled completion instant passes the rank's own clock)
+//! — with a **hard sync fence** the moment the bound would be exceeded.
+//! `s = 0` degenerates to today's synchronous path: every collective is
+//! fenced in the step that issued it, bitwise identical to the flat
+//! reduce.
+//!
+//! [`StalenessWindow`] owns the bookkeeping, not the policy mechanics: it
+//! queues `(bucket, step, payload, stream)` launches in FIFO order and
+//! settles the queue front against an [`st_device::OverlapLedger`] —
+//! apply when the deadline stream is ready, fence when the pending
+//! gradient's age hits the bound. FIFO settling keeps same-bucket
+//! payloads ordered and makes the applied-age invariant (`age ≤ s`,
+//! pinned by proptests) easy to audit.
+//!
+//! Determinism: arrival decisions read *modeled* clocks, which are pure
+//! functions of the run configuration — so runs are reproducible
+//! bit-for-bit, while replicas on different ranks may (deliberately,
+//! realistically) diverge once `s ≥ 1`. DESIGN.md §4 spells out the
+//! timing model.
+
+use st_device::{OverlapLedger, SimClock, StreamId};
+use std::collections::VecDeque;
+
+/// One in-flight averaged gradient awaiting application.
+struct Pending {
+    bucket: usize,
+    step: u64,
+    stream: StreamId,
+    payload: Vec<f32>,
+}
+
+/// FIFO window of in-flight gradient collectives under a staleness bound.
+/// See the module docs for the settle policy.
+pub struct StalenessWindow {
+    bound: u64,
+    pending: VecDeque<Pending>,
+    /// Recycled payload buffers — steady state allocates nothing.
+    pool: Vec<Vec<f32>>,
+    stale_applied: u64,
+    fence_stalls: u64,
+    max_applied_age: u64,
+}
+
+impl StalenessWindow {
+    /// A window allowing gradients up to `bound` steps stale (`0` =
+    /// synchronous: everything settles in its own step).
+    pub fn new(bound: usize) -> Self {
+        StalenessWindow {
+            bound: bound as u64,
+            pending: VecDeque::new(),
+            pool: Vec::new(),
+            stale_applied: 0,
+            fence_stalls: 0,
+            max_applied_age: 0,
+        }
+    }
+
+    /// The configured staleness bound `s`.
+    pub fn bound(&self) -> usize {
+        self.bound as usize
+    }
+
+    /// Number of launched-but-unapplied gradients.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Gradients applied at age ≥ 1 so far (stale applications).
+    pub fn stale_applied(&self) -> u64 {
+        self.stale_applied
+    }
+
+    /// Hard fences taken because the bound would have been exceeded by a
+    /// not-yet-arrived collective.
+    pub fn fence_stalls(&self) -> u64 {
+        self.fence_stalls
+    }
+
+    /// Maximum age (in steps) at which any gradient has been applied —
+    /// never exceeds [`StalenessWindow::bound`].
+    pub fn max_applied_age(&self) -> u64 {
+        self.max_applied_age
+    }
+
+    /// A cleared payload buffer, recycled from an earlier settle when one
+    /// is available.
+    pub fn payload_buf(&mut self) -> Vec<f32> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Enqueue bucket `bucket`'s averaged `payload`, issued at `step`,
+    /// whose arrival is tracked by `stream` (an
+    /// [`OverlapLedger::begin_at`] deadline stream).
+    pub fn launch(&mut self, bucket: usize, step: u64, payload: Vec<f32>, stream: StreamId) {
+        self.pending.push_back(Pending {
+            bucket,
+            step,
+            stream,
+            payload,
+        });
+    }
+
+    /// Settle the queue front while settling is due at `step`: a pending
+    /// gradient is applied if its stream has arrived (free — the rank's
+    /// clock already passed the deadline, or the wait charges the
+    /// remaining gap as hidden/exposed per the ledger), or **force-fenced**
+    /// if its age reached the bound (the wait then charges the gap to the
+    /// deadline — the hard sync fence). Stops at the first pending that is
+    /// neither due nor arrived, preserving FIFO application order. Calls
+    /// `apply(bucket, payload)` per settled gradient and returns how many
+    /// settled.
+    pub fn settle(
+        &mut self,
+        step: u64,
+        overlap: &mut OverlapLedger,
+        clock: &SimClock,
+        mut apply: impl FnMut(usize, &[f32]),
+    ) -> usize {
+        let mut applied = 0;
+        while let Some(front) = self.pending.front() {
+            let age = step.saturating_sub(front.step);
+            let arrived = overlap.ready(front.stream, clock.now());
+            if age < self.bound && !arrived {
+                break;
+            }
+            if !arrived {
+                self.fence_stalls += 1;
+            }
+            let p = self.pending.pop_front().expect("front exists");
+            overlap.wait(p.stream, clock);
+            apply(p.bucket, &p.payload);
+            self.max_applied_age = self.max_applied_age.max(age);
+            if age >= 1 {
+                self.stale_applied += 1;
+            }
+            self.pool.push(p.payload);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Settle **everything** still in flight (epoch boundary: the epoch's
+    /// optimizer state must not leak pending gradients into the metric
+    /// reductions or the next epoch's shuffle). Fences any stream that has
+    /// not arrived. Returns how many settled.
+    pub fn flush(
+        &mut self,
+        overlap: &mut OverlapLedger,
+        clock: &SimClock,
+        mut apply: impl FnMut(usize, &[f32]),
+    ) -> usize {
+        let mut applied = 0;
+        while let Some(p) = self.pending.pop_front() {
+            if !overlap.ready(p.stream, clock.now()) {
+                self.fence_stalls += 1;
+            }
+            overlap.wait(p.stream, clock);
+            apply(p.bucket, &p.payload);
+            self.pool.push(p.payload);
+            applied += 1;
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a window through `launches` of (step, ready_at) pairs with a
+    /// compute advance per step, recording (bucket, launch step, settle
+    /// step) triples.
+    fn drive(bound: usize, steps: u64, ready_delay: f64, step_secs: f64) -> Vec<(u64, u64)> {
+        let clock = SimClock::new();
+        let mut overlap = OverlapLedger::new();
+        let mut w = StalenessWindow::new(bound);
+        let mut settled = Vec::new();
+        for step in 0..steps {
+            clock.advance_compute(step_secs);
+            let ready_at = clock.now() + ready_delay;
+            let stream = overlap.begin_at(ready_at, clock.now());
+            let buf = w.payload_buf();
+            w.launch(step as usize, step, buf, stream);
+            let mut hits = Vec::new();
+            w.settle(step, &mut overlap, &clock, |bucket, _| {
+                hits.push(bucket as u64);
+            });
+            settled.extend(hits.into_iter().map(|launch| (launch, step)));
+        }
+        w.flush(&mut overlap, &clock, |_, _| {});
+        assert_eq!(w.in_flight(), 0);
+        assert!(w.max_applied_age() <= bound as u64, "bound respected");
+        settled
+    }
+
+    #[test]
+    fn bound_zero_settles_every_step_in_step() {
+        let settled = drive(0, 6, 10.0, 1.0);
+        assert_eq!(settled.len(), 6);
+        for (launch, settle) in settled {
+            assert_eq!(launch, settle, "s = 0 is synchronous");
+        }
+    }
+
+    #[test]
+    fn slow_arrivals_defer_until_the_bound_forces_them() {
+        // Arrival 10 s out, steps 1 s apart: nothing arrives on time, so
+        // every settle is a forced fence exactly `bound` steps late.
+        let settled = drive(2, 8, 10.0, 1.0);
+        for (launch, settle) in settled {
+            assert_eq!(settle - launch, 2, "forced at the bound");
+        }
+    }
+
+    #[test]
+    fn fast_arrivals_settle_without_fences() {
+        let clock = SimClock::new();
+        let mut overlap = OverlapLedger::new();
+        let mut w = StalenessWindow::new(3);
+        for step in 0..5u64 {
+            clock.advance_compute(1.0);
+            // Ready in the past: arrived before the next settle.
+            let stream = overlap.begin_at(clock.now() - 0.5, clock.now());
+            let buf = w.payload_buf();
+            w.launch(0, step, buf, stream);
+            w.settle(step, &mut overlap, &clock, |_, _| {});
+        }
+        assert_eq!(w.fence_stalls(), 0, "everything arrived on its own");
+        assert_eq!(w.in_flight(), 0);
+        assert_eq!(w.max_applied_age(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved_under_mixed_arrivals() {
+        let clock = SimClock::new();
+        let mut overlap = OverlapLedger::new();
+        let mut w = StalenessWindow::new(1);
+        // Step 0: slow stream. Step 1: instant stream. The instant one
+        // must NOT settle before the slow one (FIFO prefix rule).
+        clock.advance_compute(1.0);
+        let slow = overlap.begin_at(clock.now() + 100.0, clock.now());
+        let buf = w.payload_buf();
+        w.launch(7, 0, buf, slow);
+        let mut order = Vec::new();
+        w.settle(0, &mut overlap, &clock, |b, _| order.push(b));
+        assert!(order.is_empty(), "not due, not arrived");
+        clock.advance_compute(1.0);
+        let fast = overlap.begin_at(clock.now(), clock.now());
+        let buf = w.payload_buf();
+        w.launch(9, 1, buf, fast);
+        w.settle(1, &mut overlap, &clock, |b, _| order.push(b));
+        assert_eq!(order, vec![7, 9], "front fenced first, then the fast one");
+        assert_eq!(w.fence_stalls(), 1);
+        assert_eq!(w.stale_applied(), 1, "the slow one settled one step old");
+    }
+
+    #[test]
+    fn payload_buffers_recycle() {
+        let clock = SimClock::new();
+        let mut overlap = OverlapLedger::new();
+        let mut w = StalenessWindow::new(0);
+        let mut buf = w.payload_buf();
+        buf.extend_from_slice(&[1.0, 2.0]);
+        let s = overlap.begin_at(0.0, 0.0);
+        w.launch(0, 0, buf, s);
+        w.settle(0, &mut overlap, &clock, |_, p| assert_eq!(p, [1.0, 2.0]));
+        let recycled = w.payload_buf();
+        assert!(recycled.is_empty(), "recycled buffer comes back cleared");
+        assert!(recycled.capacity() >= 2, "and keeps its allocation");
+    }
+}

@@ -197,10 +197,12 @@ fn distributed_checkpoint_resume_is_bit_identical() {
             |rank, _cm| LocalCopyPlane::new(&sig, &cfg, rank),
             |plane: &LocalCopyPlane| factory(plane.dataset()),
         )
+        .expect("checkpoint round-trips")
     };
     let capture = EngineOptions {
         resume: None,
         capture_checkpoint: true,
+        ..Default::default()
     };
     let straight = run(4, &capture);
     let interrupted = run(2, &capture);
@@ -209,6 +211,7 @@ fn distributed_checkpoint_resume_is_bit_identical() {
         &EngineOptions {
             resume: Some(interrupted.checkpoint.clone().expect("rank-0 checkpoint")),
             capture_checkpoint: true,
+            ..Default::default()
         },
     );
     assert_eq!(

@@ -1,0 +1,322 @@
+//! The engine's learning-rate schedule and resume semantics.
+//!
+//! Historically the engine built `Adam::new(params, effective_lr())` once
+//! and never consulted any schedule — the DCRNN multi-step decay only
+//! existed on the legacy single-worker `Trainer` path. These tests pin the
+//! fix three ways: a scheduled engine run is bit-identical to the legacy
+//! `Trainer::train_with_schedule` trajectory, a resumed run re-enters the
+//! schedule at the checkpoint's epoch (not the base rate), and degenerate
+//! resumes (at/past the horizon, corrupt bytes) surface explicitly instead
+//! of panicking or returning silently empty series.
+
+use pgt_i::autograd::optim::Adam;
+use pgt_i::autograd::schedule::{LrSchedule, MultiStepLr};
+use pgt_i::autograd::Module;
+use pgt_i::core::dist_index::DistConfig;
+use pgt_i::core::engine::{self, DistDataPlane, EngineError, EngineOptions, Fetch};
+use pgt_i::core::index_batching::IndexDataset;
+use pgt_i::core::trainer::{Trainer, TrainerConfig};
+use pgt_i::data::datasets::{DatasetKind, DatasetSpec};
+use pgt_i::data::loader::Batcher;
+use pgt_i::data::splits::SplitRatios;
+use pgt_i::data::synthetic;
+use pgt_i::graph::diffusion_supports;
+use pgt_i::models::{ModelConfig, PgtDcrnn, Support};
+use std::sync::Arc;
+
+/// A world-of-one plane that replays the legacy `Trainer`'s exact batch
+/// order (`Batcher::shuffled` is a different RNG than the engine's global
+/// stripe, so parity needs the Trainer's own plan).
+struct TrainerOrderPlane {
+    ds: IndexDataset,
+    batch: usize,
+    seed: u64,
+}
+
+impl DistDataPlane for TrainerOrderPlane {
+    fn rounds_per_epoch(&self) -> usize {
+        self.ds.splits().train.len().div_ceil(self.batch)
+    }
+
+    fn plan_epoch(&self, epoch: u64) -> Vec<Vec<usize>> {
+        let train_ids: Vec<usize> = self.ds.splits().train.clone().collect();
+        let batcher = Batcher::shuffled(train_ids, self.batch, self.seed, epoch);
+        batcher.batches().map(|b| b.to_vec()).collect()
+    }
+
+    fn plan_val(&self) -> Vec<Vec<usize>> {
+        Vec::new() // parity is judged on train loss + parameters
+    }
+
+    fn fetch_batch(&self, ids: &[usize]) -> Fetch {
+        let (x, y) = self.ds.batch(ids);
+        Fetch { x, y, secs: 0.0 }
+    }
+
+    fn scaler_std(&self) -> f32 {
+        self.ds.scaler().std
+    }
+}
+
+const SEED: u64 = 42;
+const LR: f32 = 0.01;
+const BATCH: usize = 8;
+
+fn dataset() -> IndexDataset {
+    let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.2);
+    let sig = synthetic::generate(&spec, 11);
+    IndexDataset::from_signal(&sig, spec.horizon, SplitRatios::default(), None)
+}
+
+fn model_for(ds: &IndexDataset) -> PgtDcrnn {
+    let spec = DatasetSpec::get(DatasetKind::ChickenpoxHungary).scaled(0.2);
+    let sig = synthetic::generate(&spec, 11);
+    let supports = Support::wrap_all(diffusion_supports(&sig.adjacency, 2));
+    let mc = ModelConfig {
+        input_dim: ds.num_features(),
+        output_dim: 1,
+        hidden: 4,
+        num_nodes: ds.num_nodes(),
+        horizon: ds.horizon(),
+        diffusion_steps: 2,
+        layers: 1,
+    };
+    PgtDcrnn::new(mc, &supports, 7)
+}
+
+/// DCRNN-style multi-step decay with milestones scaled into a 6-epoch
+/// test budget (the reference `MultiStepLr::dcrnn` decays at 20/30/40/50).
+fn decay() -> MultiStepLr {
+    MultiStepLr {
+        base_lr: LR,
+        milestones: vec![2, 4],
+        gamma: 0.1,
+    }
+}
+
+fn engine_cfg(epochs: usize) -> DistConfig {
+    let mut cfg = DistConfig::new(1, epochs, 4);
+    cfg.batch_per_worker = BATCH;
+    cfg.lr = LR;
+    cfg.seed = SEED;
+    // The flat sync path — the Trainer has no bucket machinery to mirror.
+    cfg.grad_bucket_bytes = None;
+    cfg
+}
+
+fn scheduled_opts(epochs: usize) -> EngineOptions {
+    let _ = epochs;
+    EngineOptions {
+        schedule: Some(Arc::new(decay())),
+        ..Default::default()
+    }
+}
+
+fn run_engine(epochs: usize, opts: &EngineOptions) -> (engine::EngineReport, PgtDcrnn) {
+    let cfg = engine_cfg(epochs);
+    engine::run_single(&cfg, opts, |_cm| {
+        let ds = dataset();
+        let model = model_for(&ds);
+        (
+            TrainerOrderPlane {
+                ds,
+                batch: BATCH,
+                seed: SEED,
+            },
+            model,
+        )
+    })
+    .expect("resume bytes, when present, are valid in these tests")
+}
+
+fn param_bits(model: &PgtDcrnn) -> Vec<Vec<u32>> {
+    model
+        .params()
+        .iter()
+        .map(|p| p.value().to_vec().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn scheduled_engine_run_matches_the_legacy_trainer_bitwise() {
+    // The legacy path: Trainer + explicit optimizer + multi-step decay.
+    let ds = dataset();
+    let model = model_for(&ds);
+    let mut opt = Adam::new(model.params(), LR);
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: 6,
+        batch_size: BATCH,
+        lr: LR,
+        seed: SEED,
+        validate: false,
+        grad_clip: Some(5.0),
+    });
+    let legacy = trainer.train_with_schedule(&model, &ds, &mut opt, &decay());
+
+    // The engine, driving the same batches under the same schedule.
+    let (report, engine_model) = run_engine(6, &scheduled_opts(6));
+
+    assert_eq!(report.epochs.len(), legacy.epochs.len());
+    for (e, l) in report.epochs.iter().zip(&legacy.epochs) {
+        assert_eq!(
+            e.train_loss.to_bits(),
+            l.train_loss.to_bits(),
+            "epoch {}: engine {} vs trainer {}",
+            e.epoch,
+            e.train_loss,
+            l.train_loss
+        );
+    }
+    assert_eq!(
+        param_bits(&engine_model),
+        param_bits(&model),
+        "final parameters must be bit-identical"
+    );
+
+    // And the schedule demonstrably took effect: dropping it (the old,
+    // buggy behavior — constant effective_lr forever) lands on a
+    // different trajectory after the first milestone.
+    let (constant, _) = run_engine(6, &EngineOptions::default());
+    assert_ne!(
+        constant.epochs.last().unwrap().train_loss.to_bits(),
+        report.epochs.last().unwrap().train_loss.to_bits(),
+        "a decayed rate must diverge from the constant-rate run"
+    );
+    // Before the first milestone the two runs coincide exactly — the
+    // default constant schedule reproduces the legacy numerics.
+    for (c, s) in constant.epochs.iter().zip(&report.epochs).take(2) {
+        assert_eq!(c.train_loss.to_bits(), s.train_loss.to_bits());
+    }
+}
+
+#[test]
+fn resume_reenters_the_schedule_at_the_checkpoint_epoch() {
+    // Interrupt at epoch 3 (past the first milestone, before the second):
+    // the resumed run must re-apply lr_at(3) = 0.001, not restart at the
+    // 0.01 base rate. Byte-identical final checkpoints prove it.
+    let straight = run_engine(
+        6,
+        &EngineOptions {
+            capture_checkpoint: true,
+            ..scheduled_opts(6)
+        },
+    )
+    .0;
+    let head = run_engine(
+        3,
+        &EngineOptions {
+            capture_checkpoint: true,
+            ..scheduled_opts(3)
+        },
+    )
+    .0;
+    let resumed = run_engine(
+        6,
+        &EngineOptions {
+            resume: Some(head.checkpoint.clone().expect("captured")),
+            capture_checkpoint: true,
+            ..scheduled_opts(6)
+        },
+    )
+    .0;
+    assert_eq!(
+        straight.checkpoint, resumed.checkpoint,
+        "resume must continue the schedule, not restart it"
+    );
+    assert_eq!(resumed.epochs.len(), 3, "only the tail epochs re-run");
+    for (r, s) in resumed.epochs.iter().zip(&straight.epochs[3..]) {
+        assert_eq!(r.epoch, s.epoch);
+        assert_eq!(r.train_loss.to_bits(), s.train_loss.to_bits());
+    }
+}
+
+#[test]
+fn zero_epoch_resume_reports_an_explicit_marker() {
+    // Resuming a finished run used to return silently empty series. Now:
+    // one explicit NaN marker epoch, and the re-captured checkpoint
+    // round-trips byte-identically (nothing trained, nothing rewound).
+    let done = run_engine(
+        2,
+        &EngineOptions {
+            capture_checkpoint: true,
+            ..Default::default()
+        },
+    )
+    .0;
+    let bytes = done.checkpoint.clone().expect("captured");
+    let replay = run_engine(
+        2,
+        &EngineOptions {
+            resume: Some(bytes.clone()),
+            capture_checkpoint: true,
+            ..Default::default()
+        },
+    )
+    .0;
+    assert_eq!(replay.epochs.len(), 1, "exactly one marker entry");
+    let m = &replay.epochs[0];
+    assert_eq!(m.epoch, 2, "marker carries the resume epoch");
+    assert!(m.train_loss.is_nan() && m.val_mae.is_nan());
+    assert_eq!(m.exposed_comm_secs, 0.0);
+    assert_eq!((m.stale_steps_applied, m.fence_stalls), (0, 0));
+    assert_eq!(replay.rank_val, vec![vec![(0.0, 0)]]);
+    assert_eq!(
+        replay.checkpoint,
+        Some(bytes),
+        "zero-epoch resume must not move or rewind the checkpoint"
+    );
+}
+
+#[test]
+fn corrupt_resume_bytes_surface_a_typed_error() {
+    // Truncated checkpoint bytes must come back as Err, not a panic
+    // inside a worker thread.
+    let done = run_engine(
+        1,
+        &EngineOptions {
+            capture_checkpoint: true,
+            ..Default::default()
+        },
+    )
+    .0;
+    let mut bytes = done.checkpoint.expect("captured");
+    bytes.truncate(bytes.len() / 2);
+    let cfg = engine_cfg(2);
+    let result = engine::run_single(
+        &cfg,
+        &EngineOptions {
+            resume: Some(bytes),
+            ..Default::default()
+        },
+        |_cm| {
+            let ds = dataset();
+            let model = model_for(&ds);
+            (
+                TrainerOrderPlane {
+                    ds,
+                    batch: BATCH,
+                    seed: SEED,
+                },
+                model,
+            )
+        },
+    );
+    match result {
+        Err(EngineError::Checkpoint(_)) => {}
+        Ok(_) => panic!("corrupt bytes must not restore"),
+    }
+}
+
+#[test]
+fn schedule_lr_at_is_what_the_engine_applies() {
+    // Sanity on the schedule arithmetic the tests above lean on.
+    let s = decay();
+    assert_eq!(s.lr_at(0), 0.01);
+    assert_eq!(s.lr_at(2), 0.001);
+    assert!((s.lr_at(4) - 0.0001).abs() < 1e-9);
+    // And the reference DCRNN milestones stay where the paper's
+    // configuration puts them.
+    let d = MultiStepLr::dcrnn(0.01);
+    assert_eq!(d.lr_at(19), 0.01);
+    assert_eq!(d.lr_at(20), 0.001);
+}
