@@ -8,6 +8,8 @@ use crate::tape::Var;
 use st_tensor::ops as t;
 use st_tensor::{Shape, Tensor};
 
+pub use st_tensor::backend::Activation;
+
 /// Sum `grad` down to `shape` (undo broadcasting): collapse leading extra
 /// dims, then sum dims where the target size is 1.
 pub fn reduce_grad_to(grad: &Tensor, shape: &Shape) -> Tensor {
@@ -188,6 +190,54 @@ pub fn gelu(v: &Var) -> Var {
             0.5 * (1.0 + th) + 0.5 * e * sech2 * C * (1.0 + 3.0 * 0.044715 * e * e)
         });
         vec![t::mul(g, &dy).expect("same shape")]
+    })
+}
+
+/// Fused `act(z + bias)` — the recurrent gate tail (`dconv → add-bias →
+/// σ/tanh`) as one tape node instead of two, with a single output
+/// allocation. `bias` is rank-1 over `z`'s last dimension.
+///
+/// Forward and backward replicate the composed `add` + activation pair's
+/// per-element expressions and gradient compositions exactly, so loss and
+/// gradient bits match the unfused graph.
+pub fn bias_act(z: &Var, bias: &Var, act: Activation) -> Var {
+    assert!(z.same_tape(bias), "bias_act across different tapes");
+    let y = t::fused::bias_act(z.value(), bias.value(), act).expect("bias_act shapes");
+    let yc = y.clone();
+    let bshape = bias.value().shape().clone();
+    z.tape().custom_op(&[z, bias], y, move |g| {
+        let gout = match act {
+            Activation::Identity => g.clone(),
+            _ => t::mul(g, &t::fused::act_grad(&yc, act)).expect("same shape"),
+        };
+        let db = reduce_grad_to(&gout, &bshape);
+        vec![gout, db]
+    })
+}
+
+/// Fused GRU blend `h' = u⊙h + (1−u)⊙c` as one tape node (the historical
+/// composition materialized four intermediates and five nodes).
+///
+/// The backward closure reproduces the composed graph's gradient sums in
+/// their historical accumulation order, keeping gradient bits identical.
+pub fn gru_blend(u: &Var, h: &Var, c: &Var) -> Var {
+    assert!(
+        u.same_tape(h) && u.same_tape(c),
+        "gru_blend across different tapes"
+    );
+    let y = t::fused::gru_blend(u.value(), h.value(), c.value()).expect("gru_blend shapes");
+    let (uv, hv, cv) = (u.value().clone(), h.value().clone(), c.value().clone());
+    u.tape().custom_op(&[u, h, c], y, move |g| {
+        // du: the (1−u)⊙c branch's −g⊙c lands first, then the u⊙h
+        // branch's g⊙h — the reverse node order of the composed graph.
+        let du = t::add(
+            &t::mul_scalar(&t::mul(g, &cv).expect("same shape"), -1.0),
+            &t::mul(g, &hv).expect("same shape"),
+        )
+        .expect("same shape");
+        let dh = t::mul(g, &uv).expect("same shape");
+        let dc = t::mul(g, &t::fused::one_minus(&uv)).expect("same shape");
+        vec![du, dh, dc]
     })
 }
 
@@ -573,6 +623,113 @@ mod tests {
                 sum_all(&mul(&layer_norm(x, &gamma, &beta, 1e-5), &w))
             },
             2e-2,
+        );
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.to_vec().iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fused_bias_act_matches_composed_graph_bitwise() {
+        let mut rng = st_tensor::random::rng_from_seed(41);
+        let z0 = st_tensor::random::uniform([2, 3, 4], -2.0, 2.0, &mut rng);
+        let b0 = st_tensor::random::uniform([4], -1.0, 1.0, &mut rng);
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh] {
+            // Composed: add then activation, two nodes.
+            let tape1 = Tape::new();
+            let z1 = tape1.leaf(z0.clone());
+            let b1 = tape1.leaf(b0.clone());
+            let pre = add(&z1, &b1);
+            let y1 = match act {
+                Activation::Identity => pre,
+                Activation::Sigmoid => sigmoid(&pre),
+                Activation::Tanh => tanh(&pre),
+            };
+            let g1 = tape1.backward(&sum_all(&square(&y1)));
+            // Fused: one node.
+            let tape2 = Tape::new();
+            let z2 = tape2.leaf(z0.clone());
+            let b2 = tape2.leaf(b0.clone());
+            let y2 = bias_act(&z2, &b2, act);
+            let g2 = tape2.backward(&sum_all(&square(&y2)));
+            assert_eq!(bits(y1.value()), bits(y2.value()), "{act:?} forward");
+            assert_eq!(
+                bits(g1.get(&z1).unwrap()),
+                bits(g2.get(&z2).unwrap()),
+                "{act:?} dz"
+            );
+            assert_eq!(
+                bits(g1.get(&b1).unwrap()),
+                bits(g2.get(&b2).unwrap()),
+                "{act:?} db"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_gru_blend_matches_composed_graph_bitwise() {
+        let mut rng = st_tensor::random::rng_from_seed(42);
+        let u0 =
+            st_tensor::ops::sigmoid(&st_tensor::random::uniform([2, 3, 4], -2.0, 2.0, &mut rng));
+        let h0 = st_tensor::random::uniform([2, 3, 4], -1.0, 1.0, &mut rng);
+        let c0 = st_tensor::ops::tanh(&st_tensor::random::uniform([2, 3, 4], -2.0, 2.0, &mut rng));
+        // Composed: uh + (1-u)*c via five nodes.
+        let tape1 = Tape::new();
+        let (u1, h1, c1) = (
+            tape1.leaf(u0.clone()),
+            tape1.leaf(h0.clone()),
+            tape1.leaf(c0.clone()),
+        );
+        let uh = mul(&u1, &h1);
+        let one_minus_u = add_scalar(&neg(&u1), 1.0);
+        let y1 = add(&uh, &mul(&one_minus_u, &c1));
+        let g1 = tape1.backward(&sum_all(&square(&y1)));
+        // Fused: one node.
+        let tape2 = Tape::new();
+        let (u2, h2, c2) = (
+            tape2.leaf(u0.clone()),
+            tape2.leaf(h0.clone()),
+            tape2.leaf(c0.clone()),
+        );
+        let y2 = gru_blend(&u2, &h2, &c2);
+        let g2 = tape2.backward(&sum_all(&square(&y2)));
+        assert_eq!(bits(y1.value()), bits(y2.value()), "forward");
+        for ((a1, a2), name) in [(&u1, &u2), (&h1, &h2), (&c1, &c2)]
+            .into_iter()
+            .zip(["du", "dh", "dc"])
+        {
+            assert_eq!(
+                bits(g1.get(a1).unwrap()),
+                bits(g2.get(a2).unwrap()),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_check_fused_bias_act() {
+        grad_check(
+            Tensor::from_slice(&[0.5, -0.3, 1.2, 0.4]),
+            |tape, x| {
+                let z = reshape(x, [2, 2]);
+                let b = tape.leaf(Tensor::from_slice(&[0.2, -0.6]));
+                sum_all(&square(&bias_act(&z, &b, Activation::Sigmoid)))
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_fused_gru_blend() {
+        grad_check(
+            Tensor::from_slice(&[0.3, 0.7, 0.1, 0.9]),
+            |tape, u| {
+                let h = tape.leaf(Tensor::from_slice(&[1.0, -0.5, 0.25, 2.0]));
+                let c = tape.leaf(Tensor::from_slice(&[-0.8, 0.6, 0.4, -0.2]));
+                sum_all(&square(&gru_blend(u, &h, &c)))
+            },
+            1e-2,
         );
     }
 

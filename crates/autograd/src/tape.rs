@@ -24,6 +24,9 @@ struct TapeInner {
     /// closures are dropped on arrival and no node (hence no retained
     /// activation) is created. Forward values are identical either way.
     grad_enabled: bool,
+    /// The compute backend active when this tape was created (see
+    /// [`Tape::backend`]).
+    backend: st_tensor::backend::BackendKind,
 }
 
 impl Default for TapeInner {
@@ -32,6 +35,7 @@ impl Default for TapeInner {
             nodes: Vec::new(),
             params: Vec::new(),
             grad_enabled: true,
+            backend: st_tensor::backend::active_backend(),
         }
     }
 }
@@ -70,6 +74,15 @@ impl Tape {
     /// False when this tape was created with [`Tape::inference`].
     pub fn grad_enabled(&self) -> bool {
         self.inner.borrow().grad_enabled
+    }
+
+    /// The [`st_tensor::backend::BackendKind`] that was process-active when
+    /// this tape was created. Kernel dispatch itself is process-wide
+    /// ([`st_tensor::backend::set_backend`]); the tape snapshots the choice
+    /// so trainers, the serve shards, and benches can assert every graph in
+    /// a run was recorded under the kernels they configured.
+    pub fn backend(&self) -> st_tensor::backend::BackendKind {
+        self.inner.borrow().backend
     }
 
     /// Number of recorded nodes (useful for tests and leak checks).
@@ -262,8 +275,12 @@ fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
     match slot {
         None => *slot = Some(g),
         Some(acc) => {
-            let sum = st_tensor::ops::add(acc, &g).expect("gradient shapes must match");
-            *slot = Some(sum);
+            // In-place accumulate: reuses the slot's buffer when uniquely
+            // owned instead of allocating a fresh sum per contribution.
+            // `add_assign` walks elements in the same order with the same
+            // `x + y` expression as the allocating `add`, so gradient bits
+            // are unchanged.
+            st_tensor::ops::add_assign(acc, &g).expect("gradient shapes must match");
         }
     }
 }

@@ -82,6 +82,11 @@ pub struct DistConfig {
     /// between). Numerics never see it — only modeled time moves. `0.0`
     /// (the default) models a uniform healthy allocation.
     pub straggler_skew: f64,
+    /// Compute backend every rank selects before its first step
+    /// ([`st_tensor::backend::set_backend`]). Both backends are bitwise
+    /// identical, so switching never moves the numerics — only wall time.
+    /// Defaults to [`st_tensor::backend::BackendKind::Tiled`].
+    pub backend: st_tensor::backend::BackendKind,
 }
 
 impl DistConfig {
@@ -104,6 +109,7 @@ impl DistConfig {
             partitioner: st_graph::PartitionerKind::Multilevel,
             staleness: 0,
             straggler_skew: 0.0,
+            backend: st_tensor::backend::BackendKind::Tiled,
         }
     }
 
@@ -147,6 +153,11 @@ pub struct DistEpochStats {
     /// Hard sync fences rank 0 took this epoch because a not-yet-arrived
     /// collective hit the staleness bound.
     pub fence_stalls: u64,
+    /// Rank 0's wall seconds inside compute kernels this epoch, split by
+    /// class ([`st_device::KernelSplit`]: gemm / spmm / elementwise). Real
+    /// measured time on the host, not modeled seconds — the knob for
+    /// judging where the tiled backend's wins land.
+    pub kernel_split: st_device::KernelSplit,
 }
 
 /// Result of a distributed run.
@@ -336,6 +347,14 @@ mod tests {
             "distributed loss must fall: {first} -> {last}"
         );
         assert!(r.best_val_mae().is_finite());
+        // Rank 0 did real kernel work every epoch, and the profiler's
+        // per-class split captured it (gemm dominates a DCRNN step).
+        for e in &r.epochs {
+            let ks = e.kernel_split;
+            assert!(ks.gemm_secs > 0.0, "epoch {} saw no gemm time", e.epoch);
+            assert!(ks.total_secs() >= ks.gemm_secs);
+            assert!(ks.spmm_secs >= 0.0 && ks.elementwise_secs >= 0.0);
+        }
     }
 
     #[test]

@@ -480,6 +480,10 @@ fn run_rank<P: DistDataPlane>(
     let step = StepLoop {
         grad_clip: cfg.grad_clip,
     };
+    // Select the configured compute backend on this rank's thread before
+    // any kernel runs. Both backends are bitwise identical, so this knob
+    // only moves wall time, never the training numerics.
+    st_tensor::backend::set_backend(cfg.backend);
     // Deterministic straggler injection: scale this rank's modeled compute
     // by the cost model's linear skew ramp. Pure time — numerics never see
     // it (pinned by `straggler_noise_never_leaks_into_numerics`).
@@ -552,6 +556,7 @@ fn run_rank<P: DistDataPlane>(
         schedule.apply(&mut opt, epoch as usize);
         let comm_mark = ctx.clock.comm_secs();
         let hidden_mark = overlap.hidden_secs();
+        let kernel_mark = st_device::KernelSplit::snapshot();
         let stale_mark = window.as_ref().map_or(0, |w| w.stale_applied());
         let fence_mark = window.as_ref().map_or(0, |w| w.fence_stalls());
         let plan = plane.plan_epoch(epoch);
@@ -745,6 +750,7 @@ fn run_rank<P: DistDataPlane>(
             exposed_comm_secs: ctx.clock.comm_secs() - comm_mark,
             stale_steps_applied: window.as_ref().map_or(0, |w| w.stale_applied()) - stale_mark,
             fence_stalls: window.as_ref().map_or(0, |w| w.fence_stalls()) - fence_mark,
+            kernel_split: st_device::KernelSplit::snapshot().since(&kernel_mark),
         });
     }
     // Resuming at or past the configured horizon trains nothing; report
@@ -759,6 +765,7 @@ fn run_rank<P: DistDataPlane>(
             exposed_comm_secs: 0.0,
             stale_steps_applied: 0,
             fence_stalls: 0,
+            kernel_split: st_device::KernelSplit::default(),
         });
         val_series.push((0.0, 0));
     }

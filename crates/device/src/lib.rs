@@ -14,7 +14,9 @@
 //! - [`overlap`] — the overlap ledger: FIFO accounting for quoted comm
 //!   streams (setup reads, prefetched fetches, in-flight gradient
 //!   buckets) hidden behind modeled compute.
-//! - [`profiler`] — memory-timeline sampling, standing in for psutil/pynvml.
+//! - [`profiler`] — memory-timeline sampling, standing in for psutil/pynvml,
+//!   plus [`profiler::KernelSplit`] snapshots over `st_tensor`'s per-thread
+//!   kernel-time counters (gemm / spmm / elementwise seconds).
 
 pub mod clock;
 pub mod costmodel;
@@ -29,5 +31,5 @@ pub use costmodel::CostModel;
 pub use device::{DeviceKind, DeviceSpec, GIB, MIB};
 pub use memory::{AllocError, Allocation, MemPool, PoolMode};
 pub use overlap::{OverlapLedger, StreamId};
-pub use profiler::MemTimeline;
+pub use profiler::{KernelSplit, MemTimeline};
 pub use transfer::TransferLedger;

@@ -160,6 +160,9 @@ impl Csr {
     }
 
     /// Sparse × dense product: `Y[rows, n] = self[rows, cols] @ X[cols, n]`.
+    ///
+    /// Dispatches through the active [`st_tensor::backend::Kernels`]
+    /// backend and reports into the spmm kernel-time counter.
     pub fn spmm(&self, x: &Tensor) -> Result<Tensor> {
         if x.rank() != 2 || x.dim(0) != self.cols {
             return Err(TensorError::ShapeMismatch {
@@ -172,19 +175,25 @@ impl Csr {
         let xc = x.contiguous();
         let xs = xc.as_slice().expect("contiguous");
         let mut out = vec![0.0f32; self.rows * n];
-        st_tensor::par::parallel_fill_chunks(&mut out, n, self.nnz() * n, |r, row_out| {
-            for (c, v) in self.row(r) {
-                let xrow = &xs[c * n..(c + 1) * n];
-                for (o, &xv) in row_out.iter_mut().zip(xrow) {
-                    *o += v * xv;
-                }
-            }
+        st_tensor::backend::timed(st_tensor::backend::KernelClass::Spmm, || {
+            st_tensor::backend::kernels().spmm(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                xs,
+                &mut out,
+                self.rows,
+                n,
+            )
         });
         Tensor::from_vec(out, [self.rows, n])
     }
 
     /// Batched sparse × dense: applies `spmm` to each `X[b]` of a
     /// `[B, cols, n]` tensor, producing `[B, rows, n]`.
+    ///
+    /// Writes every batch straight into one output buffer (the historical
+    /// path materialized a tensor per batch and stacked them).
     pub fn spmm_batched(&self, x: &Tensor) -> Result<Tensor> {
         if x.rank() != 3 || x.dim(1) != self.cols {
             return Err(TensorError::ShapeMismatch {
@@ -194,13 +203,27 @@ impl Csr {
             });
         }
         let b = x.dim(0);
-        let mut outs = Vec::with_capacity(b);
-        for i in 0..b {
-            outs.push(self.spmm(&x.select(0, i)?)?);
+        let n = x.dim(2);
+        let xc = x.contiguous();
+        let xs = xc.as_slice().expect("contiguous");
+        let mut out = vec![0.0f32; b * self.rows * n];
+        if self.rows * n > 0 {
+            st_tensor::backend::timed(st_tensor::backend::KernelClass::Spmm, || {
+                let kernels = st_tensor::backend::kernels();
+                for (i, slab) in out.chunks_mut(self.rows * n).enumerate() {
+                    kernels.spmm(
+                        &self.row_ptr,
+                        &self.col_idx,
+                        &self.values,
+                        &xs[i * self.cols * n..(i + 1) * self.cols * n],
+                        slab,
+                        self.rows,
+                        n,
+                    );
+                }
+            });
         }
-        let refs: Vec<&Tensor> = outs.iter().collect();
-        let stacked = st_tensor::ops::stack0(&refs)?;
-        Ok(stacked)
+        Tensor::from_vec(out, [b, self.rows, n])
     }
 
     /// Scale row `r` by `s[r]` (used for degree normalization).

@@ -61,7 +61,7 @@ impl TgcnCell {
         let gxh = spmm_var(tape, &self.a_hat, &xh);
         let wg = tape.param(&self.w_gates);
         let bg = tape.param(&self.b_gates);
-        let gates = ops::sigmoid(&ops::add(&ops::bmm(&gxh, &wg), &bg)); // [B,N,2H]
+        let gates = ops::bias_act(&ops::bmm(&gxh, &wg), &bg, ops::Activation::Sigmoid); // [B,N,2H]
         let r = ops::narrow(&gates, 2, 0, self.hidden);
         let u = ops::narrow(&gates, 2, self.hidden, self.hidden);
         let rh = ops::mul(&r, h);
@@ -69,10 +69,8 @@ impl TgcnCell {
         let gxrh = spmm_var(tape, &self.a_hat, &xrh);
         let wc = tape.param(&self.w_cand);
         let bc = tape.param(&self.b_cand);
-        let c = ops::tanh(&ops::add(&ops::bmm(&gxrh, &wc), &bc));
-        let uh = ops::mul(&u, h);
-        let one_minus_u = ops::add_scalar(&ops::neg(&u), 1.0);
-        ops::add(&uh, &ops::mul(&one_minus_u, &c))
+        let c = ops::bias_act(&ops::bmm(&gxrh, &wc), &bc, ops::Activation::Tanh);
+        ops::gru_blend(&u, h, &c)
     }
 
     /// FLOPs of one step.
@@ -166,7 +164,7 @@ impl Seq2Seq for A3tGcn {
             .iter()
             .map(|s| {
                 // [B,N,H] -> [B,N,att] -> tanh -> [B,N,1] -> mean over nodes
-                let e = ops::tanh(&ops::add(&ops::bmm(s, &w1), &b1));
+                let e = ops::bias_act(&ops::bmm(s, &w1), &b1, ops::Activation::Tanh);
                 let sc = ops::bmm(&e, &w2); // [B, N, 1]
                 let sc = ops::mean_axis(&sc, 1); // [B, 1]
                 ops::reshape(&sc, vec![sc.value().dim(0)])
@@ -192,7 +190,7 @@ impl Seq2Seq for A3tGcn {
         // Head: [B,N,H] @ [H, T*out] -> [B,N,T*out] -> [B,T,N,out].
         let hw = tape.param(&self.head_w);
         let hb = tape.param(&self.head_b);
-        let out = ops::add(&ops::bmm(&context, &hw), &hb);
+        let out = ops::bias_act(&ops::bmm(&context, &hw), &hb, ops::Activation::Identity);
         let out = ops::reshape(&out, vec![b, n, t, self.cfg.output_dim]);
         ops::permute(&out, &[0, 2, 1, 3])
     }

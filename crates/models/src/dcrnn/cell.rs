@@ -10,6 +10,7 @@
 
 use crate::dcrnn::dconv::DiffusionConv;
 use crate::graph_ops::Support;
+use st_autograd::ops::Activation;
 use st_autograd::{ops, Module, Param, Tape, Var};
 use st_tensor::Tensor;
 
@@ -56,15 +57,13 @@ impl DcGruCell {
     pub fn step(&self, tape: &Tape, x: &Var, h: &Var) -> Var {
         debug_assert_eq!(x.value().dim(2), self.input_dim, "cell input dim");
         let xh = ops::concat(&[x, h], 2);
-        let r = ops::sigmoid(&self.gate_r.forward(tape, &xh));
-        let u = ops::sigmoid(&self.gate_u.forward(tape, &xh));
+        let r = self.gate_r.forward_act(tape, &xh, Activation::Sigmoid);
+        let u = self.gate_u.forward_act(tape, &xh, Activation::Sigmoid);
         let rh = ops::mul(&r, h);
         let xrh = ops::concat(&[x, &rh], 2);
-        let c = ops::tanh(&self.cand.forward(tape, &xrh));
-        // h' = u*h + (1-u)*c
-        let uh = ops::mul(&u, h);
-        let one_minus_u = ops::add_scalar(&ops::neg(&u), 1.0);
-        ops::add(&uh, &ops::mul(&one_minus_u, &c))
+        let c = self.cand.forward_act(tape, &xrh, Activation::Tanh);
+        // h' = u*h + (1-u)*c, as one fused blend node.
+        ops::gru_blend(&u, h, &c)
     }
 
     /// One step with caller-supplied supports (dynamic topology): the
@@ -73,14 +72,18 @@ impl DcGruCell {
     pub fn step_with(&self, tape: &Tape, supports: &[Support], x: &Var, h: &Var) -> Var {
         debug_assert_eq!(x.value().dim(2), self.input_dim, "cell input dim");
         let xh = ops::concat(&[x, h], 2);
-        let r = ops::sigmoid(&self.gate_r.forward_with(tape, supports, &xh));
-        let u = ops::sigmoid(&self.gate_u.forward_with(tape, supports, &xh));
+        let r = self
+            .gate_r
+            .forward_with_act(tape, supports, &xh, Activation::Sigmoid);
+        let u = self
+            .gate_u
+            .forward_with_act(tape, supports, &xh, Activation::Sigmoid);
         let rh = ops::mul(&r, h);
         let xrh = ops::concat(&[x, &rh], 2);
-        let c = ops::tanh(&self.cand.forward_with(tape, supports, &xrh));
-        let uh = ops::mul(&u, h);
-        let one_minus_u = ops::add_scalar(&ops::neg(&u), 1.0);
-        ops::add(&uh, &ops::mul(&one_minus_u, &c))
+        let c = self
+            .cand
+            .forward_with_act(tape, supports, &xrh, Activation::Tanh);
+        ops::gru_blend(&u, h, &c)
     }
 
     /// FLOPs of one step (three diffusion convolutions + gate arithmetic).

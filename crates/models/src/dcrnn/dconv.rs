@@ -6,6 +6,7 @@
 //! applies one fused weight matrix, exactly like the reference code.
 
 use crate::graph_ops::{spmm_var, Support};
+use st_autograd::ops::Activation;
 use st_autograd::{ops, Module, Param, Tape, Var};
 use st_tensor::random;
 
@@ -49,7 +50,7 @@ impl DiffusionConv {
     /// [`Tape::accumulate_param_grads`] collects their gradients after the
     /// backward pass.
     pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
-        self.forward_with(tape, &self.supports, x)
+        self.forward_with_act(tape, &self.supports, x, Activation::Identity)
     }
 
     /// Apply with caller-supplied supports (the dynamic-graph path: the
@@ -57,6 +58,24 @@ impl DiffusionConv {
     /// support count must match construction — the fused weight is laid
     /// out `[K·in, out]`.
     pub fn forward_with(&self, tape: &Tape, supports: &[Support], x: &Var) -> Var {
+        self.forward_with_act(tape, supports, x, Activation::Identity)
+    }
+
+    /// [`DiffusionConv::forward`] with the gate nonlinearity fused into the
+    /// bias add — the DCRNN gate path (`dconv → add-bias → σ/tanh`) runs as
+    /// one elementwise kernel instead of two materializing tape nodes.
+    pub fn forward_act(&self, tape: &Tape, x: &Var, act: Activation) -> Var {
+        self.forward_with_act(tape, &self.supports, x, act)
+    }
+
+    /// [`DiffusionConv::forward_with`] with a fused bias+activation tail.
+    pub fn forward_with_act(
+        &self,
+        tape: &Tape,
+        supports: &[Support],
+        x: &Var,
+        act: Activation,
+    ) -> Var {
         debug_assert_eq!(x.value().dim(2), self.in_dim, "dconv input dim");
         assert_eq!(
             supports.len(),
@@ -68,10 +87,11 @@ impl DiffusionConv {
         let diffused: Vec<Var> = supports.iter().map(|s| spmm_var(tape, s, x)).collect();
         let refs: Vec<&Var> = diffused.iter().collect();
         let cat = ops::concat(&refs, 2);
-        // Fused projection: bmm with the shared [K*in, out] weight.
+        // Fused projection: bmm with the shared [K*in, out] weight, then
+        // the bias/activation tail in one pass.
         let w = tape.param(&self.w);
         let b = tape.param(&self.b);
-        ops::add(&ops::bmm(&cat, &w), &b)
+        ops::bias_act(&ops::bmm(&cat, &w), &b, act)
     }
 
     /// FLOPs of one forward call at batch `b` over `n` nodes:

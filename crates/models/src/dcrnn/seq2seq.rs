@@ -116,7 +116,7 @@ impl Seq2Seq for Dcrnn {
                 inp = h;
             }
             // Project hidden -> output features.
-            let out = ops::add(&ops::bmm(&inp, &w), &bias); // [B, N, out]
+            let out = ops::bias_act(&ops::bmm(&inp, &w), &bias, ops::Activation::Identity); // [B, N, out]
             outputs.push(out.clone());
             prev = out; // autoregressive feed (no teacher forcing)
         }

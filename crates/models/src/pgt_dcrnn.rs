@@ -64,7 +64,7 @@ impl PgtDcrnn {
         for (step, step_supports) in per_step.iter().enumerate().take(t) {
             let xt = tape.constant(x.select(1, step).expect("step in range").contiguous());
             h = self.cell.step_with(tape, step_supports, &xt, &h);
-            let out = ops::add(&ops::bmm(&h, &w), &bias); // [B, N, out]
+            let out = ops::bias_act(&ops::bmm(&h, &w), &bias, ops::Activation::Identity); // [B, N, out]
             outputs.push(out);
         }
         let refs: Vec<&Var> = outputs.iter().collect();
@@ -93,7 +93,7 @@ impl Seq2Seq for PgtDcrnn {
         for step in 0..t {
             let xt = tape.constant(x.select(1, step).expect("step in range").contiguous());
             h = self.cell.step(tape, &xt, &h);
-            let out = ops::add(&ops::bmm(&h, &w), &bias); // [B, N, out]
+            let out = ops::bias_act(&ops::bmm(&h, &w), &bias, ops::Activation::Identity); // [B, N, out]
             outputs.push(out);
         }
         let refs: Vec<&Var> = outputs.iter().collect();

@@ -48,6 +48,12 @@ pub struct ServeConfig {
     /// multilevel partitioner, which minimizes the modeled halo bytes
     /// ([`st_graph::HaloCostModel`]) every cross-shard window read pays.
     pub partitioner: PartitionerKind,
+    /// Compute backend each shard selects before its first forward
+    /// ([`st_tensor::backend::set_backend`]). Backends are bitwise
+    /// identical — served forecasts stay bit-equal to the trainer's
+    /// forward either way; only inference wall time moves. Defaults to
+    /// [`st_tensor::backend::BackendKind::Tiled`].
+    pub backend: st_tensor::backend::BackendKind,
 }
 
 impl ServeConfig {
@@ -60,6 +66,7 @@ impl ServeConfig {
             capacity,
             topology: ClusterTopology::polaris(),
             partitioner: PartitionerKind::Multilevel,
+            backend: st_tensor::backend::BackendKind::Tiled,
         }
     }
 }
@@ -302,6 +309,9 @@ impl BatchedServer {
 
         let per_shard = run_workers(self.cfg.shards, self.cfg.topology, |ctx| {
             let shard = ctx.rank();
+            // Each shard thread selects the deployment's compute backend
+            // before any forward runs (bitwise-identical either way).
+            st_tensor::backend::set_backend(self.cfg.backend);
             let cost = ctx.comm.hub().cost_model().clone();
             // Every shard restores the same bit-identical replica.
             let model = self

@@ -17,6 +17,7 @@
 //!   thread pool (`par` module, crossbeam), following the data-parallel
 //!   patterns recommended for HPC Rust.
 
+pub mod backend;
 pub mod ops;
 pub mod par;
 pub mod random;

@@ -3,16 +3,22 @@
 use crate::ops::map;
 use crate::{Result, Tensor, TensorError};
 
+/// Scalar logistic sigmoid, numerically stable in both tails. The single
+/// definition both the [`sigmoid`] map and the fused backend kernels
+/// evaluate, so composed and fused paths agree bitwise.
+#[inline]
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// Logistic sigmoid, numerically stable in both tails.
 pub fn sigmoid(t: &Tensor) -> Tensor {
-    map(t, |x| {
-        if x >= 0.0 {
-            1.0 / (1.0 + (-x).exp())
-        } else {
-            let e = x.exp();
-            e / (1.0 + e)
-        }
-    })
+    map(t, sigmoid_scalar)
 }
 
 /// Hyperbolic tangent.

@@ -1,22 +1,44 @@
 //! Elementwise binary/unary kernels with NumPy-style broadcasting.
 
+use crate::backend::{self, KernelClass};
 use crate::shape::{for_each_offset, Shape};
 use crate::{Result, Tensor, TensorError};
 
 /// Apply `f` elementwise to broadcast-aligned `a` and `b`.
 pub fn zip_with(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
-    let out_shape = a.shape().broadcast_with(b.shape())?;
-    // Fast path: identical contiguous shapes.
-    if a.shape().same_as(b.shape()) {
-        if let (Ok(sa), Ok(sb)) = (a.as_slice(), b.as_slice()) {
-            let data = sa.iter().zip(sb).map(|(&x, &y)| f(x, y)).collect();
-            return Tensor::from_vec(data, out_shape);
+    backend::timed(KernelClass::Elementwise, || {
+        let out_shape = a.shape().broadcast_with(b.shape())?;
+        // Fast path: identical contiguous shapes.
+        if a.shape().same_as(b.shape()) {
+            if let (Ok(sa), Ok(sb)) = (a.as_slice(), b.as_slice()) {
+                let data = sa.iter().zip(sb).map(|(&x, &y)| f(x, y)).collect();
+                return Tensor::from_vec(data, out_shape);
+            }
         }
-    }
-    let av = gather_broadcast(a, &out_shape);
-    let bv = gather_broadcast(b, &out_shape);
-    let data = av.iter().zip(bv.iter()).map(|(&x, &y)| f(x, y)).collect();
-    Tensor::from_vec(data, out_shape)
+        let av = gather_broadcast(a, &out_shape);
+        let bv = gather_broadcast(b, &out_shape);
+        let data = av.iter().zip(bv.iter()).map(|(&x, &y)| f(x, y)).collect();
+        Tensor::from_vec(data, out_shape)
+    })
+}
+
+/// In-place `a += b` for exactly matching shapes — the gradient
+/// accumulator's fast path. Reuses `a`'s buffer when uniquely owned
+/// (copy-on-write otherwise) instead of allocating a sum tensor; the
+/// element walk and `x + y` expression are identical to [`add`]'s
+/// same-shape fast path, so results are bit-identical to the allocating
+/// op.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    check_same_shape("add_assign", a, b)?;
+    let bc = b.contiguous();
+    let bs = bc.as_slice().expect("contiguous");
+    backend::timed(KernelClass::Elementwise, || {
+        let av = a.make_mut_contiguous();
+        for (x, &y) in av.iter_mut().zip(bs) {
+            *x += y;
+        }
+    });
+    Ok(())
 }
 
 /// Collect `t`'s elements broadcast to `target` into a flat row-major vec.
@@ -44,8 +66,10 @@ fn gather_broadcast(t: &Tensor, target: &Shape) -> Vec<f32> {
 
 /// Apply `f` to every element.
 pub fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let data = t.to_vec().into_iter().map(f).collect();
-    Tensor::from_vec(data, t.shape().clone()).expect("same numel")
+    backend::timed(KernelClass::Elementwise, || {
+        let data = t.to_vec().into_iter().map(f).collect();
+        Tensor::from_vec(data, t.shape().clone()).expect("same numel")
+    })
 }
 
 /// `a + b` with broadcasting.
@@ -206,6 +230,24 @@ mod tests {
         let t = Tensor::from_slice(&[1.0, 2.0]);
         assert_eq!(add_scalar(&t, 1.0).to_vec(), vec![2.0, 3.0]);
         assert_eq!(mul_scalar(&t, -2.0).to_vec(), vec![-2.0, -4.0]);
+    }
+
+    #[test]
+    fn add_assign_matches_add_and_respects_cow() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let shared = a.clone();
+        let b = Tensor::from_slice(&[0.5, -1.0, 4.0]);
+        let want = add(&a, &b).unwrap().to_vec();
+        add_assign(&mut a, &b).unwrap();
+        assert_eq!(a.to_vec(), want);
+        assert_eq!(shared.to_vec(), vec![1.0, 2.0, 3.0], "clone untouched");
+        // Shape mismatch (even broadcastable) is rejected.
+        assert!(add_assign(&mut a, &Tensor::ones([1])).is_err());
+        // Non-contiguous views accumulate through a contiguous copy.
+        let m = Tensor::arange(4).reshape([2, 2]).unwrap();
+        let mut mt = m.t().unwrap();
+        add_assign(&mut mt, &Tensor::ones([2, 2])).unwrap();
+        assert_eq!(mt.to_vec(), vec![1.0, 3.0, 2.0, 4.0]);
     }
 
     #[test]

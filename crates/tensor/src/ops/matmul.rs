@@ -1,10 +1,12 @@
-//! Dense matrix multiplication kernels (2-D and batched 3-D).
+//! Dense matrix multiplication entry points (2-D and batched 3-D).
 //!
-//! The 2-D kernel uses the cache-friendly i-k-j loop order and parallelizes
-//! over row blocks; per the perf-book guidance, small products stay on the
-//! sequential path to avoid thread overhead.
+//! Shape validation and tensor plumbing live here; the raw loops are
+//! dispatched through the active [`crate::backend::Kernels`] backend —
+//! the naive i-k-j reference or the tiled default, bit-identical either
+//! way. Small products stay on the sequential path inside the kernels to
+//! avoid thread overhead.
 
-use crate::par::parallel_fill_chunks;
+use crate::backend::{self, KernelClass};
 use crate::{Result, Tensor, TensorError};
 
 /// `C[m,n] = A[m,k] @ B[k,n]`.
@@ -29,30 +31,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let av = ac.as_slice().expect("contiguous");
     let bv = bc.as_slice().expect("contiguous");
     let mut out = vec![0.0f32; m * n];
-    matmul_kernel(av, bv, &mut out, m, k, n);
-    Tensor::from_vec(out, [m, n])
-}
-
-/// Row-parallel i-k-j kernel writing into `out` (must be zeroed, length m*n).
-pub(crate) fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    if n == 0 || m == 0 {
-        return;
-    }
-    parallel_fill_chunks(out, n, m * n * k, |i, row| {
-        let arow = &a[i * k..(i + 1) * k];
-        for (l, &al) in arow.iter().enumerate() {
-            if al == 0.0 {
-                continue;
-            }
-            let brow = &b[l * n..(l + 1) * n];
-            for (c, &bv) in row.iter_mut().zip(brow) {
-                *c += al * bv;
-            }
-        }
+    backend::timed(KernelClass::Gemm, || {
+        backend::kernels().matmul(av, bv, &mut out, m, k, n)
     });
+    Tensor::from_vec(out, [m, n])
 }
 
 /// Batched matmul: `C[b,m,n] = A[b,m,k] @ B[b,k,n]`.
@@ -89,28 +71,8 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let av = ac.as_slice().expect("contiguous");
     let bv = bc.as_slice().expect("contiguous");
     let mut out = vec![0.0f32; bs * m * n];
-    // Parallelize across the batch dimension; each batch fills its own slab.
-    parallel_fill_chunks(&mut out, m * n, bs * m * n * k, |i, slab| {
-        let a_i = &av[i * m * k..(i + 1) * m * k];
-        let b_i = if shared_rhs {
-            bv
-        } else {
-            &bv[i * k * n..(i + 1) * k * n]
-        };
-        // Sequential inner kernel (outer loop already parallel).
-        for r in 0..m {
-            let arow = &a_i[r * k..(r + 1) * k];
-            let crow = &mut slab[r * n..(r + 1) * n];
-            for (l, &al) in arow.iter().enumerate() {
-                if al == 0.0 {
-                    continue;
-                }
-                let brow = &b_i[l * n..(l + 1) * n];
-                for (c, &bval) in crow.iter_mut().zip(brow) {
-                    *c += al * bval;
-                }
-            }
-        }
+    backend::timed(KernelClass::Gemm, || {
+        backend::kernels().bmm(av, bv, &mut out, bs, m, k, n, shared_rhs)
     });
     Tensor::from_vec(out, [bs, m, n])
 }
@@ -193,6 +155,51 @@ mod tests {
                 assert!((c.at(&[i, j]) - s).abs() < 1e-4);
             }
         }
+    }
+
+    #[test]
+    fn nan_and_inf_propagate_through_matmul() {
+        // Regression: the old kernel skipped `al == 0.0` multiplicands, so
+        // a zero in A silently swallowed a NaN/Inf in B (`0 × NaN` never
+        // landed). IEEE semantics must hold on the public op.
+        let a = Tensor::from_vec(vec![0.0, 0.0], [1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0, 1.0], [2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap().to_vec();
+        assert!(c[0].is_nan(), "0 × NaN must produce NaN");
+        assert!(c[1].is_nan(), "0 × Inf must produce NaN");
+        // Batched path shares the fix.
+        let ab = Tensor::from_vec(vec![0.0, 0.0], [1, 1, 2]).unwrap();
+        let cb = bmm(&ab, &b).unwrap().to_vec();
+        assert!(cb[0].is_nan() && cb[1].is_nan());
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_public_ops() {
+        use crate::backend::{kernels_for, BackendKind};
+        let mut rng = crate::random::rng_from_seed(11);
+        let a = crate::random::uniform([45, 70], -1.0, 1.0, &mut rng);
+        let b = crate::random::uniform([70, 19], -1.0, 1.0, &mut rng);
+        let (m, k, n) = (45, 70, 19);
+        let mut r = vec![0.0f32; m * n];
+        let mut t = vec![0.0f32; m * n];
+        kernels_for(BackendKind::Reference).matmul(
+            a.as_slice().unwrap(),
+            b.as_slice().unwrap(),
+            &mut r,
+            m,
+            k,
+            n,
+        );
+        kernels_for(BackendKind::Tiled).matmul(
+            a.as_slice().unwrap(),
+            b.as_slice().unwrap(),
+            &mut t,
+            m,
+            k,
+            n,
+        );
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&r), bits(&t));
     }
 
     #[test]

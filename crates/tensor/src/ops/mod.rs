@@ -5,6 +5,7 @@
 pub mod activation;
 pub mod concat;
 pub mod elementwise;
+pub mod fused;
 pub mod matmul;
 pub mod reduce;
 

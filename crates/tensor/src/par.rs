@@ -8,8 +8,47 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Below this many scalar operations, run sequentially.
+/// Default for [`par_threshold`]: below this many scalar operations, run
+/// sequentially.
 pub const PAR_THRESHOLD: usize = 1 << 15;
+
+/// The one shared work-size threshold every data-parallel helper consults:
+/// ops whose estimated scalar-op count is below it run inline on the
+/// calling thread.
+///
+/// There are exactly two knobs in the threading story, and this is the
+/// second one:
+/// - `ST_NUM_THREADS` caps the worker count ([`num_threads`]); `1` is a
+///   true sequential path — no scoped pool is ever spawned.
+/// - `ST_PAR_THRESHOLD` overrides this threshold (read once, then cached;
+///   a non-numeric or empty value keeps the [`PAR_THRESHOLD`] default).
+///   `0` makes every op eligible for the pool; a huge value forces
+///   everything inline.
+///
+/// Per-op magic constants are not welcome: kernels estimate their work
+/// (`m*n*k` for a GEMM, `nnz*n` for an spmm) and compare against this one
+/// number, so the sequential/parallel switch is tunable in one place and
+/// none of it can affect results — chunked reductions use fixed chunk
+/// sizes (`reduce::SUM_ABS_CHUNK`) precisely so bit patterns never depend
+/// on the thread count.
+pub fn par_threshold() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(usize::MAX);
+    let v = CACHED.load(Ordering::Relaxed);
+    if v != usize::MAX {
+        return v;
+    }
+    let v = threshold_override(std::env::var("ST_PAR_THRESHOLD").ok().as_deref())
+        .unwrap_or(PAR_THRESHOLD);
+    CACHED.store(v, Ordering::Relaxed);
+    v
+}
+
+/// Parse a threshold override: any non-negative integer is taken verbatim;
+/// unset, empty, or garbage means "no override".
+fn threshold_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n != usize::MAX)
+}
 
 /// Number of worker threads to use for data-parallel loops.
 ///
@@ -52,7 +91,7 @@ where
     F: Fn(usize, usize, usize) + Sync,
 {
     let threads = num_threads();
-    if threads <= 1 || work < PAR_THRESHOLD || len < 2 {
+    if threads <= 1 || work < par_threshold() || len < 2 {
         f(0, 0, len);
         return;
     }
@@ -82,7 +121,7 @@ where
     assert_eq!(out.len() % chunk, 0, "out must divide into whole chunks");
     let n = out.len() / chunk;
     let threads = num_threads();
-    if threads <= 1 || work < PAR_THRESHOLD || n < 2 {
+    if threads <= 1 || work < par_threshold() || n < 2 {
         for (i, c) in out.chunks_mut(chunk).enumerate() {
             f(i, c);
         }
@@ -140,6 +179,25 @@ mod tests {
         assert_eq!(thread_count_override(Some("lots")), None);
         assert_eq!(thread_count_override(Some("")), None);
         assert_eq!(thread_count_override(None), None);
+    }
+
+    #[test]
+    fn par_threshold_defaults_and_override_parsing() {
+        // The cached value in this process is the default unless the
+        // environment set one before the first call.
+        let expected = threshold_override(std::env::var("ST_PAR_THRESHOLD").ok().as_deref())
+            .unwrap_or(PAR_THRESHOLD);
+        assert_eq!(par_threshold(), expected);
+        // The override parser itself is pinned on pure inputs.
+        assert_eq!(
+            threshold_override(Some("0")),
+            Some(0),
+            "0 is a valid threshold"
+        );
+        assert_eq!(threshold_override(Some(" 1024 ")), Some(1024));
+        assert_eq!(threshold_override(Some("lots")), None);
+        assert_eq!(threshold_override(Some("")), None);
+        assert_eq!(threshold_override(None), None);
     }
 
     #[test]
