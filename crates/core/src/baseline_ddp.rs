@@ -18,6 +18,7 @@ use st_data::preprocess::materialized_xy;
 use st_data::scaler::StandardScaler;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::{SplitIndices, SplitRatios};
+use st_data::storage::SignalStorage;
 use st_dist::datasvc::DistributedArray;
 use st_models::Seq2Seq;
 use st_tensor::Tensor;
@@ -170,8 +171,23 @@ where
     let scaler = out.scaler;
     let splits = out.splits.clone();
     let elem = 4; // f32 payloads
-    let x = DistributedArray::new(out.x, cfg.world, cfg.topology, elem);
-    let y = DistributedArray::new(out.y, cfg.world, cfg.topology, elem);
+    let policy = st_dist::datasvc::PartitionPolicy::Contiguous;
+    let x = DistributedArray::with_storage(
+        SignalStorage::from_tensor_spec(out.x, cfg.storage),
+        cfg.world,
+        cfg.topology,
+        elem,
+        policy,
+        cfg.wire_codec,
+    );
+    let y = DistributedArray::with_storage(
+        SignalStorage::from_tensor_spec(out.y, cfg.storage),
+        cfg.world,
+        cfg.topology,
+        elem,
+        policy,
+        cfg.wire_codec,
+    );
 
     engine::run(
         cfg,

@@ -9,11 +9,13 @@
 
 use crate::engine::{self, DistDataPlane, EngineOptions, Fetch};
 use crate::index_batching::IndexDataset;
-use crate::trainer::BatchSource;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
+use st_data::storage::StorageSpec;
+use st_device::CostModel;
 use st_dist::shuffle::{self, ShuffleStrategy};
 use st_dist::topology::ClusterTopology;
+use st_dist::wire::WireCodec;
 use st_models::Seq2Seq;
 
 /// Configuration of a distributed training run.
@@ -87,6 +89,21 @@ pub struct DistConfig {
     /// identical, so switching never moves the numerics — only wall time.
     /// Defaults to [`st_tensor::backend::BackendKind::Tiled`].
     pub backend: st_tensor::backend::BackendKind,
+    /// Storage backend for every plane's standardized signal copy.
+    /// `InMemory` (the default) is the historical dense tensor. `Chunked`
+    /// streams windows from an on-disk columnar file through a bounded LRU
+    /// chunk cache — resident bytes drop to `O(chunks_cached)` and the
+    /// modeled chunk-IO seconds ride the same prefetch/overlap machinery
+    /// as network time. The lossless chunk codec (the default inside
+    /// [`st_data::storage::ChunkedSpec`]) keeps every loss curve
+    /// **bit-identical** to the in-memory run.
+    pub storage: StorageSpec,
+    /// Wire codec for remote data-plane payloads (baseline DDP row fetches
+    /// and the generalized mode's halo/entry reads). `Lossless` (the
+    /// default) is bit-exact; `F16`/`DeltaI8` shrink ledger bytes 2×/≈4×
+    /// and honestly transcode delivered rows. Local-copy planes move no
+    /// sample data, so the codec is a no-op there.
+    pub wire_codec: WireCodec,
 }
 
 impl DistConfig {
@@ -110,6 +127,8 @@ impl DistConfig {
             staleness: 0,
             straggler_skew: 0.0,
             backend: st_tensor::backend::BackendKind::Tiled,
+            storage: StorageSpec::InMemory,
+            wire_codec: WireCodec::Lossless,
         }
     }
 
@@ -201,12 +220,28 @@ pub struct LocalCopyPlane {
     batch: usize,
     seed: u64,
     shuffle: ShuffleStrategy,
+    cost: CostModel,
 }
 
 impl LocalCopyPlane {
     /// Build rank `rank`'s plane: its own full local copy (§4.2 — cheap
-    /// only because of eq. (2)).
-    pub fn new(signal: &StaticGraphTemporalSignal, cfg: &DistConfig, rank: usize) -> Self {
+    /// only because of eq. (2)). Under [`StorageSpec::Chunked`] the "local
+    /// copy" lives in an on-disk columnar file instead of RAM: batches
+    /// stream through the bounded chunk cache and `cm` prices the chunk IO
+    /// ([`CostModel::pfs_read`]) so the engine can prefetch it away.
+    pub fn new(
+        signal: &StaticGraphTemporalSignal,
+        cfg: &DistConfig,
+        rank: usize,
+        cm: &CostModel,
+    ) -> Self {
+        let sig;
+        let signal = if cfg.storage.is_chunked() && !signal.is_chunked() {
+            sig = signal.rechunk(cfg.storage);
+            &sig
+        } else {
+            signal
+        };
         let ds =
             IndexDataset::from_signal(signal, cfg.horizon, SplitRatios::default(), cfg.time_period);
         LocalCopyPlane {
@@ -216,6 +251,7 @@ impl LocalCopyPlane {
             batch: cfg.batch_per_worker,
             seed: cfg.seed,
             shuffle: cfg.shuffle,
+            cost: cm.clone(),
         }
     }
 
@@ -275,8 +311,20 @@ impl DistDataPlane for LocalCopyPlane {
     }
 
     fn fetch_batch(&self, ids: &[usize]) -> Fetch {
-        let (x, y) = self.ds.get_batch(ids);
-        Fetch { x, y, secs: 0.0 }
+        let (x, y, io_bytes) = self.ds.batch_quoted(ids);
+        let secs = if io_bytes > 0 {
+            self.cost.pfs_read(io_bytes, 1.0)
+        } else {
+            0.0
+        };
+        Fetch { x, y, secs }
+    }
+
+    fn remote(&self) -> bool {
+        // A chunked local copy pays modeled disk time per batch; reporting
+        // it as remote turns on the engine's double-buffered prefetcher so
+        // chunk IO hides behind compute exactly like network fetches.
+        self.ds.is_chunked()
     }
 
     fn scaler_std(&self) -> f32 {
@@ -300,7 +348,7 @@ where
     engine::run(
         cfg,
         &EngineOptions::default(),
-        |rank, _cm| LocalCopyPlane::new(signal, cfg, rank),
+        |rank, cm| LocalCopyPlane::new(signal, cfg, rank, cm),
         |plane: &LocalCopyPlane| model_factory(plane.dataset()),
     )
     .expect("engine run without resume cannot fail")

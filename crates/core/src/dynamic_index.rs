@@ -19,14 +19,16 @@ use st_data::dynamic::DynamicGraphTemporalSignal;
 use st_data::preprocess::num_snapshots;
 use st_data::scaler::StandardScaler;
 use st_data::splits::{SplitIndices, SplitRatios};
+use st_data::storage::{RowStore, SignalStorage, StorageSpec};
 use st_graph::{diffusion_supports, HaloCostModel, PartitionerKind, Partitioning};
 use st_models::{ModelConfig, PgtDcrnn, Support};
 use st_tensor::Tensor;
 
 /// Index-batched dataset over a dynamic-topology signal.
 pub struct DynamicIndexDataset {
-    /// Single standardized feature copy `[E, N, F]`.
-    data: Tensor,
+    /// Single standardized feature copy `[E, N, F]` — dense in RAM or
+    /// out-of-core chunks, per the construction-time [`StorageSpec`].
+    store: SignalStorage,
     /// Diffusion supports per time entry (one set per entry, shared by all
     /// windows that touch the entry).
     supports: Vec<Vec<Support>>,
@@ -44,6 +46,26 @@ impl DynamicIndexDataset {
         ratios: SplitRatios,
         diffusion_steps: usize,
     ) -> Self {
+        Self::from_signal_spec(
+            signal,
+            horizon,
+            ratios,
+            diffusion_steps,
+            StorageSpec::InMemory,
+        )
+    }
+
+    /// [`DynamicIndexDataset::from_signal`] with an explicit storage
+    /// backend for the standardized feature copy. The dynamic signal's
+    /// source tensor stays dense (its per-entry adjacencies dominate it
+    /// anyway); `spec` bounds what the *dataset* keeps resident.
+    pub fn from_signal_spec(
+        signal: &DynamicGraphTemporalSignal,
+        horizon: usize,
+        ratios: SplitRatios,
+        diffusion_steps: usize,
+        spec: StorageSpec,
+    ) -> Self {
         let s = num_snapshots(signal.entries(), horizon);
         assert!(s > 0, "signal too short for horizon {horizon}");
         let splits = ratios.split(s);
@@ -60,7 +82,7 @@ impl DynamicIndexDataset {
             .map(|adj| Support::wrap_all(diffusion_supports(adj, diffusion_steps)))
             .collect();
         DynamicIndexDataset {
-            data,
+            store: SignalStorage::from_tensor_spec(data, spec),
             supports,
             horizon,
             scaler,
@@ -68,9 +90,20 @@ impl DynamicIndexDataset {
         }
     }
 
+    /// The dense standardized tensor (in-memory storage only; panics for
+    /// chunked datasets — use [`DynamicIndexDataset::snapshot`]).
+    pub fn data(&self) -> &Tensor {
+        self.store.dense()
+    }
+
+    /// True when the feature copy streams from out-of-core chunks.
+    pub fn is_chunked(&self) -> bool {
+        self.store.is_chunked()
+    }
+
     /// Number of `(x, y)` snapshot pairs.
     pub fn num_snapshots(&self) -> usize {
-        num_snapshots(self.data.dim(0), self.horizon)
+        num_snapshots(self.store.rows(), self.horizon)
     }
 
     /// Split ranges.
@@ -90,30 +123,59 @@ impl DynamicIndexDataset {
 
     /// Graph nodes.
     pub fn num_nodes(&self) -> usize {
-        self.data.dim(1)
+        self.store.dims()[1]
     }
 
     /// Node features.
     pub fn num_features(&self) -> usize {
-        self.data.dim(2)
+        self.store.dims()[2]
     }
 
-    /// Snapshot `i`: zero-copy `(x, y)` feature views plus the borrowed
-    /// per-step support sets for the x window.
+    /// Snapshot `i`: `(x, y)` feature windows (zero-copy views in memory,
+    /// streamed reads out-of-core) plus the borrowed per-step support sets
+    /// for the x window.
     pub fn snapshot(&self, i: usize) -> (Tensor, Tensor, Vec<&[Support]>) {
-        let x = self
-            .data
-            .narrow(0, i, self.horizon)
-            .expect("window in range")
-            .unsqueeze(0)
-            .expect("add batch dim");
-        let y = self
-            .data
-            .narrow(0, i + self.horizon, self.horizon)
-            .expect("label window in range")
-            .unsqueeze(0)
-            .expect("add batch dim");
+        let (x, y, _) = self.snapshot_quoted(i);
         (x, y, self.supports_for(i))
+    }
+
+    /// [`DynamicIndexDataset::snapshot`] minus the supports, plus the chunk
+    /// IO bytes this window's reads actually touched (0 in memory or on a
+    /// warm cache).
+    pub fn snapshot_quoted(&self, i: usize) -> (Tensor, Tensor, u64) {
+        let h = self.horizon;
+        match &self.store {
+            SignalStorage::InMemory(data) => {
+                let x = data
+                    .narrow(0, i, h)
+                    .expect("window in range")
+                    .unsqueeze(0)
+                    .expect("add batch dim");
+                let y = data
+                    .narrow(0, i + h, h)
+                    .expect("label window in range")
+                    .unsqueeze(0)
+                    .expect("add batch dim");
+                (x, y, 0)
+            }
+            store => {
+                // One contiguous read covers both windows (they abut).
+                let (rows, io) = store.read_rows_quoted(i..i + 2 * h);
+                let x = rows
+                    .narrow(0, 0, h)
+                    .expect("x window")
+                    .unsqueeze(0)
+                    .expect("add batch dim")
+                    .contiguous();
+                let y = rows
+                    .narrow(0, h, h)
+                    .expect("y window")
+                    .unsqueeze(0)
+                    .expect("add batch dim")
+                    .contiguous();
+                (x, y, io)
+            }
+        }
     }
 
     /// The borrowed per-step support sets of window `i` alone (no feature
@@ -129,7 +191,7 @@ impl DynamicIndexDataset {
     /// Resident bytes of the index layout (features f32 + support CSRs +
     /// window bookkeeping) — the dynamic analogue of eq. (2).
     pub fn resident_bytes(&self) -> u64 {
-        let features = (self.data.numel() * 4) as u64;
+        let features = self.store.resident_bytes();
         let supports: u64 = self
             .supports
             .iter()
@@ -145,7 +207,7 @@ impl DynamicIndexDataset {
     pub fn materialized_bytes(&self) -> u64 {
         let s = self.num_snapshots() as u64;
         let h = self.horizon as u64;
-        let row = (self.data.dim(1) * self.data.dim(2) * 4) as u64;
+        let row = (self.store.row_width() * 4) as u64;
         let features = 2 * s * h * row;
         let per_entry_supports: u64 = self
             .supports
@@ -224,6 +286,10 @@ pub struct DynamicTrainConfig {
     /// what a `parts`-way partition-parallel deployment would pay as the
     /// topology mutates).
     pub parts: usize,
+    /// Storage backend for the standardized feature copy
+    /// ([`StorageSpec::Chunked`] streams windows from disk through a
+    /// bounded cache).
+    pub storage: StorageSpec,
 }
 
 impl Default for DynamicTrainConfig {
@@ -236,6 +302,7 @@ impl Default for DynamicTrainConfig {
             seed: 42,
             grad_clip: Some(5.0),
             parts: 1,
+            storage: StorageSpec::InMemory,
         }
     }
 }
@@ -263,6 +330,7 @@ pub struct DynamicPlane {
     ds: DynamicIndexDataset,
     seed: u64,
     timeline: Vec<TimelinePartition>,
+    cost: st_device::CostModel,
 }
 
 impl DynamicPlane {
@@ -272,18 +340,26 @@ impl DynamicPlane {
             ds,
             seed,
             timeline: Vec::new(),
+            cost: st_device::CostModel::polaris(),
         }
     }
 
     /// Wrap a dynamic dataset plus the [`partition_timeline`] the
     /// configured partitioner produced: the plane re-partitions (segment
-    /// boundaries) exactly where the graph mutates.
+    /// boundaries) exactly where the graph mutates. `cm` prices chunk IO
+    /// when the dataset streams from out-of-core storage.
     pub fn with_partition_timeline(
         ds: DynamicIndexDataset,
         seed: u64,
         timeline: Vec<TimelinePartition>,
+        cm: &st_device::CostModel,
     ) -> Self {
-        DynamicPlane { ds, seed, timeline }
+        DynamicPlane {
+            ds,
+            seed,
+            timeline,
+            cost: cm.clone(),
+        }
     }
 
     /// The underlying dataset.
@@ -331,8 +407,19 @@ impl crate::engine::DistDataPlane for DynamicPlane {
 
     fn fetch_batch(&self, ids: &[usize]) -> crate::engine::Fetch {
         assert_eq!(ids.len(), 1, "dynamic windows cannot share a fused batch");
-        let (x, y, _) = self.ds.snapshot(ids[0]);
-        crate::engine::Fetch { x, y, secs: 0.0 }
+        let (x, y, io_bytes) = self.ds.snapshot_quoted(ids[0]);
+        let secs = if io_bytes > 0 {
+            self.cost.pfs_read(io_bytes, 1.0)
+        } else {
+            0.0
+        };
+        crate::engine::Fetch { x, y, secs }
+    }
+
+    fn remote(&self) -> bool {
+        // Out-of-core windows carry modeled disk time; let the engine's
+        // prefetcher hide it behind compute.
+        self.ds.is_chunked()
     }
 
     fn sync_gradients(&self) -> bool {
@@ -361,11 +448,12 @@ pub fn train_dynamic(
     horizon: usize,
     cfg: &DynamicTrainConfig,
 ) -> (PgtDcrnn, Vec<DynamicEpochStats>) {
-    let ds = DynamicIndexDataset::from_signal(
+    let ds = DynamicIndexDataset::from_signal_spec(
         signal,
         horizon,
         SplitRatios::default(),
         cfg.diffusion_steps,
+        cfg.storage,
     );
     let std = ds.scaler().std;
     let mut dist_cfg = crate::dist_index::DistConfig::new(1, cfg.epochs, horizon);
@@ -387,7 +475,7 @@ pub fn train_dynamic(
     let (report, model) = crate::engine::run_single(
         &dist_cfg,
         &crate::engine::EngineOptions::default(),
-        move |_cm| {
+        move |cm| {
             let model = PgtDcrnn::new(
                 ModelConfig {
                     input_dim: ds.num_features(),
@@ -405,7 +493,7 @@ pub fn train_dynamic(
                 cfg.seed,
             );
             (
-                DynamicPlane::with_partition_timeline(ds, cfg.seed, timeline),
+                DynamicPlane::with_partition_timeline(ds, cfg.seed, timeline, cm),
                 model,
             )
         },
@@ -457,14 +545,14 @@ mod tests {
     fn feature_views_are_zero_copy() {
         let d = ds();
         let (x, _, _) = d.snapshot(0);
-        assert!(x.shares_storage(&d.data), "x must be a view");
+        assert!(x.shares_storage(d.data()), "x must be a view");
     }
 
     #[test]
     fn standardization_uses_train_prefix() {
         let d = ds();
         // Standardized training data has ≈0 mean.
-        let train_view = d.data.narrow(0, 0, d.splits().train.end).unwrap();
+        let train_view = d.data().narrow(0, 0, d.splits().train.end).unwrap();
         let vals = train_view.to_vec();
         let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
         assert!(mean.abs() < 0.25, "mean {mean}");
@@ -507,7 +595,12 @@ mod tests {
         let sig = synthetic_dynamic_traffic(6, 60, 5);
         let ds = DynamicIndexDataset::from_signal(&sig, 4, SplitRatios::default(), 2);
         let timeline = partition_timeline(&sig, 2, PartitionerKind::Multilevel, 4);
-        let plane = DynamicPlane::with_partition_timeline(ds, 1, timeline);
+        let plane = DynamicPlane::with_partition_timeline(
+            ds,
+            1,
+            timeline,
+            &st_device::CostModel::polaris(),
+        );
         assert_eq!(plane.repartitions(), 59);
         let p = plane.partitioning_at(7).expect("timeline covers entry 7");
         assert_eq!(p.num_parts(), 2);

@@ -265,15 +265,29 @@ where
         }
         None => signal,
     };
+    let rechunked;
+    let sig = if cfg.storage.is_chunked() && !sig.is_chunked() {
+        rechunked = sig.rechunk(cfg.storage);
+        &rechunked
+    } else {
+        sig
+    };
     let full = IndexDataset::from_signal(sig, cfg.horizon, SplitRatios::default(), None);
     let (nodes, features) = (full.num_nodes(), full.num_features());
     let scaler = full.scaler().clone();
     let split = full.splits().clone();
-    let entries = full
-        .data()
-        .reshape([sig.entries(), nodes * features])
-        .expect("flatten");
-    let shared = DistributedArray::new(entries, cfg.world, cfg.topology, 4);
+    // The shared entry array reuses the dataset's standardized storage
+    // directly ([E, N, F] rows are already `nodes * features` scalars wide);
+    // under [`st_data::StorageSpec::Chunked`] this is the out-of-core store
+    // itself, so no rank ever holds the dense entry matrix.
+    let shared = DistributedArray::with_storage(
+        full.storage().clone(),
+        cfg.world,
+        cfg.topology,
+        4,
+        st_dist::datasvc::PartitionPolicy::Contiguous,
+        cfg.wire_codec,
+    );
 
     engine::run(
         cfg,

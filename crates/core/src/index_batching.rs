@@ -13,18 +13,27 @@
 //! Space drops from eq. (1) (`2·S·h·N·F`) to eq. (2) (`E·N·F + S`), and the
 //! samples fed to the model are **identical** to standard batching — which
 //! is why accuracy is unchanged (Fig. 5); a test below asserts exactly that.
+//!
+//! Since PR 8 the single copy itself sits behind [`SignalStorage`]: the
+//! in-memory backend is the historical dense tensor (snapshots stay
+//! zero-copy views, batches stay straight memcpys — bit-identical), while
+//! the chunked backend streams windows from an on-disk columnar file
+//! through a bounded LRU cache, dropping resident bytes from `E·N·F` to
+//! `O(chunks_cached)` — the axis eq. (2) cannot shrink.
 
 use st_data::preprocess::num_snapshots;
 use st_data::scaler::StandardScaler;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::{SplitIndices, SplitRatios};
+use st_data::storage::{RowStore, SignalStorage, StorageSpec};
 use st_tensor::Tensor;
 
 /// The index-batching dataset: one data copy + window indices.
 #[derive(Debug, Clone)]
 pub struct IndexDataset {
-    /// The single standardized copy of the signal, `[E, N, F]`.
-    data: Tensor,
+    /// The single standardized copy of the signal, `[E, N, F]`, behind a
+    /// storage backend.
+    store: SignalStorage,
     horizon: usize,
     scaler: StandardScaler,
     splits: SplitIndices,
@@ -34,6 +43,11 @@ impl IndexDataset {
     /// Build from a signal: optionally append the time-of-day feature
     /// (traffic datasets), fit the scaler on the training prefix, and
     /// standardize the single copy in place of the materializing pipeline.
+    ///
+    /// The dataset inherits the signal's storage backend: a chunked signal
+    /// is standardized chunk-by-chunk (the scaler is elementwise, so the
+    /// result is bit-identical to the dense path) and stays chunked. Only
+    /// the scaler *fit* materializes the training prefix, transiently.
     pub fn from_signal(
         signal: &StaticGraphTemporalSignal,
         horizon: usize,
@@ -54,14 +68,12 @@ impl IndexDataset {
         // Fit on the entries the training snapshots can touch:
         // windows [0, train_end) cover entries [0, train_end + 2h - 1).
         let train_entries = (splits.train.end + 2 * horizon - 1).min(sig.entries());
-        let train_view = sig
-            .data
-            .narrow(0, 0, train_entries)
-            .expect("prefix in range");
+        let (train_view, _) = sig.storage.read_rows_quoted(0..train_entries);
         let scaler = StandardScaler::fit(&train_view);
-        let data = scaler.transform(&sig.data);
+        drop(train_view);
+        let store = sig.storage.map_rows(|rows| scaler.transform(rows));
         IndexDataset {
-            data,
+            store,
             horizon,
             scaler,
             splits,
@@ -76,17 +88,37 @@ impl IndexDataset {
         scaler: StandardScaler,
         splits: SplitIndices,
     ) -> Self {
+        Self::from_standardized_storage(SignalStorage::InMemory(data), horizon, scaler, splits)
+    }
+
+    /// Wrap an already-standardized storage backend directly.
+    pub fn from_standardized_storage(
+        store: SignalStorage,
+        horizon: usize,
+        scaler: StandardScaler,
+        splits: SplitIndices,
+    ) -> Self {
         IndexDataset {
-            data,
+            store,
             horizon,
             scaler,
             splits,
         }
     }
 
+    /// Re-house the standardized copy under another storage backend.
+    pub fn rechunk(&self, spec: StorageSpec) -> IndexDataset {
+        IndexDataset {
+            store: self.store.rechunk(spec),
+            horizon: self.horizon,
+            scaler: self.scaler.clone(),
+            splits: self.splits.clone(),
+        }
+    }
+
     /// Number of `(x, y)` snapshot pairs.
     pub fn num_snapshots(&self) -> usize {
-        num_snapshots(self.data.dim(0), self.horizon)
+        num_snapshots(self.store.rows(), self.horizon)
     }
 
     /// The split ranges over snapshot ids.
@@ -106,66 +138,120 @@ impl IndexDataset {
 
     /// Node count.
     pub fn num_nodes(&self) -> usize {
-        self.data.dim(1)
+        self.store.dims()[1]
     }
 
     /// Feature count (after any augmentation).
     pub fn num_features(&self) -> usize {
-        self.data.dim(2)
+        self.store.dims()[2]
     }
 
     /// The single standardized data copy (share-aliased, never cloned).
+    /// Panics for a chunked dataset — streaming consumers use
+    /// [`IndexDataset::storage`].
     pub fn data(&self) -> &Tensor {
-        &self.data
+        self.store.dense()
     }
 
-    /// Reconstruct snapshot `i` as **zero-copy views** `(x, y)` of shape
-    /// `[horizon, N, F]` each — the runtime request of Fig. 4.
+    /// The storage backend behind the single copy.
+    pub fn storage(&self) -> &SignalStorage {
+        &self.store
+    }
+
+    /// True when windows stream from on-disk chunks.
+    pub fn is_chunked(&self) -> bool {
+        self.store.is_chunked()
+    }
+
+    /// Reconstruct snapshot `i` as `(x, y)` of shape `[horizon, N, F]` each
+    /// — the runtime request of Fig. 4. **Zero-copy views** on the
+    /// in-memory backend; cached chunk reads on the chunked one.
     pub fn snapshot(&self, i: usize) -> (Tensor, Tensor) {
         let h = self.horizon;
-        let x = self.data.narrow(0, i, h).expect("snapshot start in range");
-        let y = self
-            .data
-            .narrow(0, i + h, h)
-            .expect("label window in range");
-        (x, y)
+        match &self.store {
+            SignalStorage::InMemory(data) => {
+                let x = data.narrow(0, i, h).expect("snapshot start in range");
+                let y = data.narrow(0, i + h, h).expect("label window in range");
+                (x, y)
+            }
+            SignalStorage::Chunked(_) => {
+                assert!(
+                    i + 2 * h <= self.store.rows(),
+                    "snapshot start in range: {i}"
+                );
+                let (x, _) = self.store.read_rows_quoted(i..i + h);
+                let (y, _) = self.store.read_rows_quoted(i + h..i + 2 * h);
+                (x, y)
+            }
+        }
     }
 
     /// Assemble a minibatch `[B, h, N, F]` for x and y from snapshot ids.
     /// Windows are contiguous row-ranges of the single copy, so assembly is
     /// a straight memcpy per sample — no per-window preprocessing.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        let (x, y, _) = self.batch_quoted(indices);
+        (x, y)
+    }
+
+    /// Like [`IndexDataset::batch`], additionally quoting the **stored
+    /// bytes read from disk** to assemble the batch (0 on the in-memory
+    /// backend and on chunk-cache hits) so callers can price the IO and
+    /// overlap it with compute.
+    pub fn batch_quoted(&self, indices: &[usize]) -> (Tensor, Tensor, u64) {
         let h = self.horizon;
         let n = self.num_nodes();
         let f = self.num_features();
         let row = n * f;
-        let src = self
-            .data
-            .as_slice()
-            .expect("standardized copy is contiguous");
-        let mut x = Vec::with_capacity(indices.len() * h * row);
-        let mut y = Vec::with_capacity(indices.len() * h * row);
+        let dims = [indices.len(), h, n, f];
         for &i in indices {
             assert!(
                 i < self.num_snapshots(),
                 "snapshot id {i} out of range ({} snapshots)",
                 self.num_snapshots()
             );
-            x.extend_from_slice(&src[i * row..(i + h) * row]);
-            y.extend_from_slice(&src[(i + h) * row..(i + 2 * h) * row]);
         }
-        let dims = [indices.len(), h, n, f];
-        (
-            Tensor::from_vec(x, dims).expect("batch numel"),
-            Tensor::from_vec(y, dims).expect("batch numel"),
-        )
+        match &self.store {
+            SignalStorage::InMemory(data) => {
+                let src = data.as_slice().expect("standardized copy is contiguous");
+                let mut x = Vec::with_capacity(indices.len() * h * row);
+                let mut y = Vec::with_capacity(indices.len() * h * row);
+                for &i in indices {
+                    x.extend_from_slice(&src[i * row..(i + h) * row]);
+                    y.extend_from_slice(&src[(i + h) * row..(i + 2 * h) * row]);
+                }
+                (
+                    Tensor::from_vec(x, dims).expect("batch numel"),
+                    Tensor::from_vec(y, dims).expect("batch numel"),
+                    0,
+                )
+            }
+            SignalStorage::Chunked(_) => {
+                let mut x = Vec::with_capacity(indices.len() * h * row);
+                let mut y = Vec::with_capacity(indices.len() * h * row);
+                let mut io = 0u64;
+                for &i in indices {
+                    // One contiguous read covers x_i and y_i (they abut).
+                    let (win, bytes) = self.store.read_rows_quoted(i..i + 2 * h);
+                    io += bytes;
+                    let src = win.as_slice().expect("assembled window is contiguous");
+                    x.extend_from_slice(&src[..h * row]);
+                    y.extend_from_slice(&src[h * row..]);
+                }
+                (
+                    Tensor::from_vec(x, dims).expect("batch numel"),
+                    Tensor::from_vec(y, dims).expect("batch numel"),
+                    io,
+                )
+            }
+        }
     }
 
     /// Resident bytes of this dataset per the paper's eq. (2):
     /// one data copy plus one index per snapshot.
     pub fn resident_bytes(&self, elem_bytes: usize) -> u64 {
         crate::memory_model::index_batching_bytes(
-            self.data.dim(0),
+            self.store.rows(),
             self.horizon,
             self.num_nodes(),
             self.num_features(),
@@ -179,6 +265,7 @@ mod tests {
     use super::*;
     use st_data::datasets::{DatasetKind, DatasetSpec};
     use st_data::preprocess::materialized_xy;
+    use st_data::storage::ChunkedSpec;
     use st_data::synthetic;
     use st_graph::Adjacency;
 
@@ -248,6 +335,40 @@ mod tests {
             assert_eq!(bx.select(0, row).unwrap().to_vec(), x.to_vec());
             assert_eq!(by.select(0, row).unwrap().to_vec(), y.to_vec());
         }
+    }
+
+    #[test]
+    fn chunked_dataset_is_bit_identical_to_in_memory() {
+        // The tentpole invariant at the dataset layer: same signal, chunked
+        // backend, arbitrary chunk size ⇒ identical bits out of `batch`.
+        let sig = toy_signal(40, 3);
+        let dense = IndexDataset::from_signal(&sig, 4, SplitRatios::default(), None);
+        for chunk in [1usize, 3, 7, 16, 64] {
+            let csig = sig.rechunk(StorageSpec::Chunked(ChunkedSpec::new(chunk)));
+            let cds = IndexDataset::from_signal(&csig, 4, SplitRatios::default(), None);
+            assert!(cds.is_chunked());
+            let ids = [0usize, 5, 17, cds.num_snapshots() - 1];
+            let (dx, dy) = dense.batch(&ids);
+            let (cx, cy, _) = cds.batch_quoted(&ids);
+            for (a, b) in [(dx, cx), (dy, cy)] {
+                let (av, bv) = (a.to_vec(), b.to_vec());
+                assert_eq!(av.len(), bv.len());
+                for (x, y) in av.iter().zip(&bv) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_batches_quote_io_then_hit_cache() {
+        let sig = toy_signal(64, 2);
+        let csig = sig.rechunk(StorageSpec::Chunked(ChunkedSpec::new(8)));
+        let ds = IndexDataset::from_signal(&csig, 2, SplitRatios::default(), None);
+        let (_, _, io_cold) = ds.batch_quoted(&[0, 1, 2]);
+        assert!(io_cold > 0, "cold batch reads chunks from disk");
+        let (_, _, io_warm) = ds.batch_quoted(&[0, 1, 2]);
+        assert_eq!(io_warm, 0, "warm batch is served by the cache");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::index_batching::IndexDataset;
 use st_data::loader::Batcher;
 use st_data::signal::StaticGraphTemporalSignal;
 use st_data::splits::SplitRatios;
+use st_data::storage::SignalStorage;
 use st_dist::topology::ClusterTopology;
 use st_graph::diffusion_supports;
 use st_models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
@@ -93,6 +94,10 @@ pub struct PartitionedConfig {
     pub time_period: Option<usize>,
     /// Shared seed.
     pub seed: u64,
+    /// Signal storage backend. Under [`st_data::StorageSpec::Chunked`] every
+    /// per-partition node-subset copy streams from its own on-disk columnar
+    /// file through a bounded chunk cache instead of living in RAM.
+    pub storage: st_data::StorageSpec,
 }
 
 impl PartitionedConfig {
@@ -109,6 +114,7 @@ impl PartitionedConfig {
             horizon,
             time_period: None,
             seed: 42,
+            storage: st_data::StorageSpec::InMemory,
         }
     }
 }
@@ -165,17 +171,31 @@ pub fn node_subset_signal(
     nodes: &[usize],
     adjacency: st_graph::Adjacency,
 ) -> StaticGraphTemporalSignal {
-    let by_node = signal
-        .data
-        .permute(&[1, 0, 2])
-        .expect("signal is [E, N, F]");
-    let subset = by_node
-        .index_select0(nodes)
-        .expect("node ids in range")
-        .permute(&[1, 0, 2])
-        .expect("back to [E, n, F]")
-        .contiguous();
-    StaticGraphTemporalSignal::new(subset, adjacency)
+    let select = |block: &st_tensor::Tensor| {
+        block
+            .permute(&[1, 0, 2])
+            .expect("signal is [E, N, F]")
+            .index_select0(nodes)
+            .expect("node ids in range")
+            .permute(&[1, 0, 2])
+            .expect("back to [E, n, F]")
+            .contiguous()
+    };
+    match &signal.storage {
+        SignalStorage::InMemory(data) => StaticGraphTemporalSignal::new(select(data), adjacency),
+        SignalStorage::Chunked(store) => {
+            // Stream the subset chunk-by-chunk so the per-partition copy
+            // never materializes the full signal.
+            let dims = [signal.entries(), nodes.len(), signal.num_features()];
+            let mut w = st_data::storage::ChunkedWriter::create(&dims, store.spec());
+            store.for_each_chunk(|_, rows| {
+                let sub = select(rows);
+                w.push_rows(sub.as_slice().expect("contiguous"));
+            });
+            let storage = SignalStorage::Chunked(std::sync::Arc::new(w.finish()));
+            StaticGraphTemporalSignal::with_storage(storage, adjacency)
+        }
+    }
 }
 
 /// The §7 partitioned data plane: one rank per graph partition, each with
@@ -188,19 +208,29 @@ pub struct PartitionedPlane {
     batch: usize,
     seed: u64,
     rank: usize,
+    cost: st_device::CostModel,
 }
 
 impl PartitionedPlane {
     /// Wrap a partition's dataset; `owned` is the count of nodes this
     /// partition owns (its nodes are ordered owned-first), `rank` the
-    /// partition/worker index.
-    pub fn new(ds: IndexDataset, owned: usize, batch: usize, seed: u64, rank: usize) -> Self {
+    /// partition/worker index. `cm` prices chunk IO when the dataset is
+    /// backed by out-of-core storage.
+    pub fn new(
+        ds: IndexDataset,
+        owned: usize,
+        batch: usize,
+        seed: u64,
+        rank: usize,
+        cm: &st_device::CostModel,
+    ) -> Self {
         PartitionedPlane {
             ds,
             owned,
             batch,
             seed,
             rank,
+            cost: cm.clone(),
         }
     }
 
@@ -231,8 +261,19 @@ impl DistDataPlane for PartitionedPlane {
     }
 
     fn fetch_batch(&self, ids: &[usize]) -> Fetch {
-        let (x, y) = self.ds.batch(ids);
-        Fetch { x, y, secs: 0.0 }
+        let (x, y, io_bytes) = self.ds.batch_quoted(ids);
+        let secs = if io_bytes > 0 {
+            self.cost.pfs_read(io_bytes, 1.0)
+        } else {
+            0.0
+        };
+        Fetch { x, y, secs }
+    }
+
+    fn remote(&self) -> bool {
+        // Chunked partitions pay modeled disk time per batch; report remote
+        // so the engine's prefetcher overlaps it with compute.
+        self.ds.is_chunked()
     }
 
     fn sync_gradients(&self) -> bool {
@@ -270,6 +311,13 @@ pub fn run_partitioned(
     signal: &StaticGraphTemporalSignal,
     cfg: &PartitionedConfig,
 ) -> PartitionedResult {
+    let rechunked;
+    let signal = if cfg.storage.is_chunked() && !signal.is_chunked() {
+        rechunked = signal.rechunk(cfg.storage);
+        &rechunked
+    } else {
+        signal
+    };
     // The partitioner flows through DistConfig — the knob every
     // partition-consuming plane shares — rather than being hard-wired
     // per runner.
@@ -329,13 +377,14 @@ pub fn run_partitioned(
     let report = engine::run(
         &dist_cfg,
         &EngineOptions::default(),
-        |rank, _cm| {
+        |rank, cm| {
             PartitionedPlane::new(
                 locals[rank].1.clone(),
                 subgraphs[active[rank]].owned_count,
                 cfg.batch_size,
                 cfg.seed,
                 rank,
+                cm,
             )
         },
         |plane: &PartitionedPlane| {
@@ -490,8 +539,8 @@ mod tests {
         for (local, &global) in nodes.iter().enumerate() {
             for t in [0usize, 7, sig.entries() - 1] {
                 assert_eq!(
-                    sub.data.at(&[t, local, 0]),
-                    sig.data.at(&[t, global, 0]),
+                    sub.data().at(&[t, local, 0]),
+                    sig.data().at(&[t, global, 0]),
                     "t={t} local={local} global={global}"
                 );
             }

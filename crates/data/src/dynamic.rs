@@ -136,7 +136,7 @@ fn synthetic_base_signal(
     seed: u64,
 ) -> Tensor {
     let sig = crate::synthetic::traffic::generate(net, entries, 288, seed);
-    sig.data
+    sig.storage.to_tensor()
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! loading (every worker reads the same file, as §4.2 describes).
 
 use crate::signal::StaticGraphTemporalSignal;
+use crate::storage::RowStore;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use st_graph::Adjacency;
 use st_tensor::Tensor;
@@ -20,8 +21,17 @@ pub fn to_bytes(signal: &StaticGraphTemporalSignal) -> Bytes {
     buf.put_u32_le(e as u32);
     buf.put_u32_le(n as u32);
     buf.put_u32_le(f as u32);
-    for v in signal.data.to_vec() {
-        buf.put_f32_le(v);
+    // Stream entry blocks through the storage trait so a chunked signal
+    // serializes without ever materializing the full array.
+    let block = 1024usize;
+    let mut t0 = 0;
+    while t0 < e {
+        let t1 = (t0 + block).min(e);
+        let (rows, _) = signal.storage.read_rows_quoted(t0..t1);
+        for &v in rows.contiguous().as_slice().expect("contiguous rows") {
+            buf.put_f32_le(v);
+        }
+        t0 = t1;
     }
     for &w in signal.adjacency.weights() {
         buf.put_f32_le(w);
@@ -91,7 +101,7 @@ mod tests {
         assert_eq!(back.entries(), 2);
         assert_eq!(back.num_nodes(), 2);
         assert_eq!(back.num_features(), 3);
-        assert_eq!(back.data.to_vec(), sig.data.to_vec());
+        assert_eq!(back.data().to_vec(), sig.data().to_vec());
         assert_eq!(back.adjacency.weights(), sig.adjacency.weights());
     }
 
@@ -116,7 +126,7 @@ mod tests {
         let path = dir.join("sig.stdg");
         save(&sample(), &path).unwrap();
         let back = load(&path).unwrap();
-        assert_eq!(back.data.to_vec(), sample().data.to_vec());
+        assert_eq!(back.data().to_vec(), sample().data().to_vec());
         std::fs::remove_file(path).ok();
     }
 }

@@ -20,6 +20,7 @@ pub mod replay;
 pub mod scaler;
 pub mod signal;
 pub mod splits;
+pub mod storage;
 pub mod synthetic;
 
 pub use datasets::{DatasetKind, DatasetSpec, Domain};
@@ -29,3 +30,6 @@ pub use replay::{standard_replay, LoaderVariant, ReplayReport};
 pub use scaler::StandardScaler;
 pub use signal::StaticGraphTemporalSignal;
 pub use splits::{SplitIndices, SplitRatios};
+pub use storage::{
+    ChunkCodec, ChunkedSpec, ChunkedStore, ChunkedWriter, RowStore, SignalStorage, StorageSpec,
+};

@@ -27,11 +27,30 @@ impl Batcher {
     }
 
     /// Shuffled batcher: a seeded permutation of `indices` per epoch.
+    ///
+    /// The permutation is applied in place by walking its cycles (the perm
+    /// vector doubles as the visited scratch), so no second copy of the
+    /// index vector is ever allocated.
     pub fn shuffled(mut indices: Vec<usize>, batch_size: usize, seed: u64, epoch: u64) -> Self {
-        let perm = permutation(indices.len(), seed, epoch);
-        let orig = indices.clone();
-        for (slot, &p) in indices.iter_mut().zip(perm.iter()) {
-            *slot = orig[p];
+        let mut perm = permutation(indices.len(), seed, epoch);
+        let n = perm.len();
+        // Realize out[i] = in[perm[i]] cycle by cycle: each swap deposits the
+        // element destined for slot `x` while carrying `in[x]` onward along
+        // the cycle; `perm[x] = n` marks slots already finalized.
+        for i in 0..n {
+            if perm[i] >= n {
+                continue;
+            }
+            let mut x = i;
+            loop {
+                let next = perm[x];
+                perm[x] = n;
+                if next == i {
+                    break;
+                }
+                indices.swap(x, next);
+                x = next;
+            }
         }
         Batcher {
             indices,
@@ -125,6 +144,21 @@ mod tests {
         let mut sorted = flat(&b1);
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn in_place_shuffle_matches_mapped_copy() {
+        // The cycle-walking in-place application must equal the obvious
+        // out[i] = in[perm[i]] map — including over non-identity inputs
+        // (distributed ranks shuffle their own stripe of global indices).
+        for (n, seed, epoch) in [(1usize, 3u64, 0u64), (2, 3, 1), (17, 9, 4), (100, 42, 7)] {
+            let input: Vec<usize> = (0..n).map(|i| 1000 + 3 * i).collect();
+            let b = Batcher::shuffled(input.clone(), 8, seed, epoch);
+            let perm = permutation(n, seed, epoch);
+            let want: Vec<usize> = perm.iter().map(|&p| input[p]).collect();
+            let got: Vec<usize> = b.batches().flatten().copied().collect();
+            assert_eq!(got, want, "n={n} seed={seed} epoch={epoch}");
+        }
     }
 
     #[test]

@@ -49,12 +49,12 @@ pub fn materialized_xy(
     let mut ys: Vec<Tensor> = Vec::with_capacity(s);
     for start in 0..s {
         let x = signal
-            .data
+            .data()
             .narrow(0, start, horizon)
             .expect("window in range")
             .contiguous(); // explicit copy, as in the reference code
         let y = signal
-            .data
+            .data()
             .narrow(0, start + horizon, horizon)
             .expect("label window in range")
             .contiguous();

@@ -64,7 +64,11 @@ mod tests {
     fn power_in_unit_interval() {
         let net = random_geometric(20, 60.0, 4);
         let sig = generate(&net, 300, 24, 4);
-        assert!(sig.data.to_vec().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(sig
+            .data()
+            .to_vec()
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]
@@ -74,7 +78,7 @@ mod tests {
         // Lag-1 autocorrelation of the farm-average output should be high
         // (AR(1) regional wind).
         let avg: Vec<f32> = (0..500)
-            .map(|t| (0..10).map(|i| sig.data.at(&[t, i, 0])).sum::<f32>() / 10.0)
+            .map(|t| (0..10).map(|i| sig.data().at(&[t, i, 0])).sum::<f32>() / 10.0)
             .collect();
         let n = avg.len() - 1;
         let mean = avg.iter().sum::<f32>() / avg.len() as f32;

@@ -73,7 +73,7 @@ mod tests {
     fn case_counts_nonnegative_and_nonconstant() {
         let net = random_geometric(15, 40.0, 9);
         let sig = generate(&net, 200, 9);
-        let v = sig.data.to_vec();
+        let v = sig.data().to_vec();
         assert!(v.iter().all(|&c| c >= 0.0));
         let mean = v.iter().sum::<f32>() / v.len() as f32;
         let var = v.iter().map(|c| (c - mean).powi(2)).sum::<f32>() / v.len() as f32;
@@ -85,6 +85,6 @@ mod tests {
         let net = random_geometric(10, 30.0, 2);
         let sig = generate(&net, 104, 2);
         // Weekly new cases bounded by max population.
-        assert!(sig.data.to_vec().iter().all(|&c| c <= 500.0));
+        assert!(sig.data().to_vec().iter().all(|&c| c <= 500.0));
     }
 }

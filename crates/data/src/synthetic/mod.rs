@@ -55,8 +55,8 @@ mod tests {
         let spec = DatasetSpec::get(DatasetKind::PemsBay).scaled(0.02);
         let a = generate(&spec, 3);
         let b = generate(&spec, 3);
-        assert_eq!(a.data.to_vec(), b.data.to_vec());
+        assert_eq!(a.data().to_vec(), b.data().to_vec());
         let c = generate(&spec, 4);
-        assert_ne!(a.data.to_vec(), c.data.to_vec());
+        assert_ne!(a.data().to_vec(), c.data().to_vec());
     }
 }

@@ -82,12 +82,12 @@ mod tests {
     fn speeds_plausible_and_periodic() {
         let net = highway_corridor(30, 1, 5);
         let sig = generate(&net, 2 * 288, 288, 5);
-        let v = sig.data.to_vec();
+        let v = sig.data().to_vec();
         assert!(v.iter().all(|&s| (3.0..80.0).contains(&s)));
         // Rush hour (t ≈ 0.33 * period) is slower than midnight (t = 0).
-        let midnight: f32 = (0..30).map(|i| sig.data.at(&[0, i, 0])).sum();
+        let midnight: f32 = (0..30).map(|i| sig.data().at(&[0, i, 0])).sum();
         let rush_t = (288.0 * 0.33) as usize;
-        let rush: f32 = (0..30).map(|i| sig.data.at(&[rush_t, i, 0])).sum();
+        let rush: f32 = (0..30).map(|i| sig.data().at(&[rush_t, i, 0])).sum();
         assert!(rush < midnight, "rush {rush} vs midnight {midnight}");
     }
 
@@ -97,7 +97,8 @@ mod tests {
         let sig = generate(&net, 600, 288, 11);
         // Average correlation between adjacent sensors must exceed the
         // correlation between the two corridor endpoints.
-        let series = |i: usize| -> Vec<f32> { (0..600).map(|t| sig.data.at(&[t, i, 0])).collect() };
+        let series =
+            |i: usize| -> Vec<f32> { (0..600).map(|t| sig.data().at(&[t, i, 0])).collect() };
         let corr = |a: &[f32], b: &[f32]| -> f32 {
             let n = a.len() as f32;
             let (ma, mb) = (a.iter().sum::<f32>() / n, b.iter().sum::<f32>() / n);

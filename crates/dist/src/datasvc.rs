@@ -1,19 +1,27 @@
 //! The Dask-style distributed data service backing baseline DDP (§5) and
 //! the generalized mode's shared entry array (§5.4).
 //!
-//! A [`DistributedArray`] is a row-partitioned tensor: rank `r` owns a
+//! A [`DistributedArray`] is a row-partitioned array: rank `r` owns a
 //! subset of dim-0 rows (by [`PartitionPolicy`]). Fetches are
 //! **request-batched** — one modeled message per remote *owner* per call,
 //! the optimization the paper's authors added to their Dask baseline — and
 //! every remote row lands on the shared ledger (`remote_bytes`,
 //! `remote_requests`), which is exactly the data-plane bar of Fig. 7.
 //!
-//! The backing store is one in-process tensor (clones are O(1) via shared
-//! storage), so "remote" reads cost simulated time and ledger bytes but no
-//! real copies beyond batch assembly.
+//! Since PR 8 the backing store is a [`SignalStorage`]: the in-memory
+//! backend keeps the historical behavior exactly (one shared tensor, O(1)
+//! clones, zero-copy range views), while the chunked backend streams rows
+//! from an on-disk columnar file through its bounded LRU cache — the store
+//! quotes the disk bytes it had to touch and fetches convert them to
+//! modeled PFS seconds, so the engine's `Prefetcher` can hide chunk IO the
+//! same way it hides network time. Remote payloads can additionally be
+//! wire-compressed with a [`WireCodec`] (honestly transcoded and
+//! ledger-accounted at encoded size; lossless by default).
 
 use crate::shuffle::contiguous_partition;
 use crate::topology::ClusterTopology;
+use crate::wire::WireCodec;
+use st_data::storage::{RowStore, SignalStorage};
 use st_device::{CostModel, SimClock};
 use st_tensor::Tensor;
 use std::ops::Range;
@@ -59,14 +67,15 @@ impl PartitionPolicy {
     }
 }
 
-/// A row-partitioned tensor with a remote-traffic ledger. Constructors
+/// A row-partitioned array with a remote-traffic ledger. Constructors
 /// return `Arc<Self>` so worker threads share one ledger.
 pub struct DistributedArray {
-    data: Tensor,
+    store: SignalStorage,
     world: usize,
     topology: ClusterTopology,
     elem_bytes: usize,
     policy: PartitionPolicy,
+    wire: WireCodec,
     remote_bytes: AtomicU64,
     remote_requests: AtomicU64,
 }
@@ -98,14 +107,38 @@ impl DistributedArray {
         elem_bytes: usize,
         policy: PartitionPolicy,
     ) -> Arc<Self> {
-        assert!(world > 0, "world must be positive");
-        assert!(data.rank() >= 1, "need at least one dimension to partition");
-        Arc::new(DistributedArray {
-            data: data.contiguous(),
+        Self::with_storage(
+            SignalStorage::InMemory(data.contiguous()),
             world,
             topology,
             elem_bytes,
             policy,
+            WireCodec::Lossless,
+        )
+    }
+
+    /// Fully general constructor: any storage backend, any ownership
+    /// policy, any wire codec.
+    pub fn with_storage(
+        store: SignalStorage,
+        world: usize,
+        topology: ClusterTopology,
+        elem_bytes: usize,
+        policy: PartitionPolicy,
+        wire: WireCodec,
+    ) -> Arc<Self> {
+        assert!(world > 0, "world must be positive");
+        assert!(
+            !store.dims().is_empty(),
+            "need at least one dimension to partition"
+        );
+        Arc::new(DistributedArray {
+            store,
+            world,
+            topology,
+            elem_bytes,
+            policy,
+            wire,
             remote_bytes: AtomicU64::new(0),
             remote_requests: AtomicU64::new(0),
         })
@@ -113,12 +146,22 @@ impl DistributedArray {
 
     /// Number of rows (dim 0).
     pub fn rows(&self) -> usize {
-        self.data.dim(0)
+        self.store.rows()
     }
 
-    /// Modeled bytes of one row.
+    /// Modeled bytes of one (uncompressed) row.
     pub fn row_bytes(&self) -> u64 {
-        ((self.data.numel() / self.rows().max(1)) * self.elem_bytes) as u64
+        (self.store.row_width() * self.elem_bytes) as u64
+    }
+
+    /// The backing storage (chunk-IO counters live on it).
+    pub fn storage(&self) -> &SignalStorage {
+        &self.store
+    }
+
+    /// The wire codec remote payloads travel under.
+    pub fn wire_codec(&self) -> WireCodec {
+        self.wire
     }
 
     /// The contiguous row range rank `rank` owns (meaningful for the
@@ -127,7 +170,8 @@ impl DistributedArray {
         contiguous_partition(self.rows(), self.world, rank)
     }
 
-    /// Total remote row bytes fetched so far, across all ranks.
+    /// Total remote payload bytes fetched so far, across all ranks (encoded
+    /// size under a lossy wire codec).
     pub fn remote_bytes(&self) -> u64 {
         self.remote_bytes.load(Ordering::Relaxed)
     }
@@ -138,7 +182,8 @@ impl DistributedArray {
     }
 
     /// Request-batch `row_iter`'s remote rows — one modeled message per
-    /// remote owner — onto the ledger, returning the modeled seconds.
+    /// remote owner, priced at the wire codec's encoded size — onto the
+    /// ledger, returning the modeled seconds.
     fn charge_owners(
         &self,
         rank: usize,
@@ -146,19 +191,23 @@ impl DistributedArray {
         cm: &CostModel,
     ) -> f64 {
         let rows = self.rows();
-        let mut per_owner_bytes = vec![0u64; self.world];
+        let mut per_owner_rows = vec![0u64; self.world];
         for idx in row_iter {
             assert!(idx < rows, "row {idx} out of bounds ({rows})");
             let owner = self.policy.owner_of(idx, rows, self.world);
             if owner != rank {
-                per_owner_bytes[owner] += self.row_bytes();
+                per_owner_rows[owner] += 1;
             }
         }
+        let width = self.store.row_width() as u64;
         let mut secs = 0.0;
-        for (owner, &bytes) in per_owner_bytes.iter().enumerate() {
-            if bytes == 0 {
+        for (owner, &count) in per_owner_rows.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
+            let bytes = self
+                .wire
+                .payload_bytes(count, width, self.elem_bytes as u64);
             secs += cm.remote_fetch(bytes, self.topology.same_node(rank, owner));
             self.remote_bytes.fetch_add(bytes, Ordering::Relaxed);
             self.remote_requests.fetch_add(1, Ordering::Relaxed);
@@ -166,22 +215,86 @@ impl DistributedArray {
         secs
     }
 
+    /// Transcode the remote rows of a gathered batch through the wire
+    /// codec, one per-owner block at a time (matching the per-owner
+    /// messages the ledger charged). No-op under the lossless codec.
+    fn transcode_gather(&self, rank: usize, indices: &[usize], batch: Tensor) -> Tensor {
+        if self.wire.is_lossless() {
+            return batch;
+        }
+        let width = self.store.row_width();
+        let dims = batch.dims().to_vec();
+        let mut buf = batch.to_vec();
+        let rows = self.rows();
+        let mut per_owner: Vec<Vec<usize>> = vec![Vec::new(); self.world];
+        for (j, &idx) in indices.iter().enumerate() {
+            let owner = self.policy.owner_of(idx, rows, self.world);
+            if owner != rank {
+                per_owner[owner].push(j);
+            }
+        }
+        for group in per_owner.iter().filter(|g| !g.is_empty()) {
+            let mut block = Vec::with_capacity(group.len() * width);
+            for &j in group {
+                block.extend_from_slice(&buf[j * width..(j + 1) * width]);
+            }
+            self.wire.transcode_rows(&mut block, width);
+            for (k, &j) in group.iter().enumerate() {
+                buf[j * width..(j + 1) * width].copy_from_slice(&block[k * width..(k + 1) * width]);
+            }
+        }
+        Tensor::from_vec(buf, dims).expect("same numel")
+    }
+
+    /// Transcode the remote runs of a contiguous range read (maximal
+    /// same-owner stretches — the actual per-owner messages).
+    fn transcode_range(&self, rank: usize, range: &Range<usize>, view: Tensor) -> Tensor {
+        if self.wire.is_lossless() || range.is_empty() {
+            return view;
+        }
+        let width = self.store.row_width();
+        let dims = view.dims().to_vec();
+        let mut buf = view.to_vec();
+        let rows = self.rows();
+        let mut run_start = range.start;
+        let mut run_owner = self.policy.owner_of(range.start, rows, self.world);
+        let flush = |buf: &mut Vec<f32>, start: usize, end: usize, owner: usize| {
+            if owner != rank && end > start {
+                let lo = (start - range.start) * width;
+                let hi = (end - range.start) * width;
+                self.wire.transcode_rows(&mut buf[lo..hi], width);
+            }
+        };
+        for r in range.start + 1..range.end {
+            let owner = self.policy.owner_of(r, rows, self.world);
+            if owner != run_owner {
+                flush(&mut buf, run_start, r, run_owner);
+                run_start = r;
+                run_owner = owner;
+            }
+        }
+        flush(&mut buf, run_start, range.end, run_owner);
+        Tensor::from_vec(buf, dims).expect("same numel")
+    }
+
     /// Gather `indices` rows for `rank`, recording remote traffic on the
     /// ledger and returning `(batch, modeled seconds)` without charging any
     /// clock — the quote lets callers overlap the time (prefetching) or
-    /// charge it synchronously ([`DistributedArray::fetch_rows`]).
+    /// charge it synchronously ([`DistributedArray::fetch_rows`]). The
+    /// quote covers network messages plus any chunk IO the backing store
+    /// performed ([`st_device::CostModel::pfs_read`]).
     pub fn fetch_rows_quoted(
         &self,
         rank: usize,
         indices: &[usize],
         cm: &CostModel,
     ) -> (Tensor, f64) {
-        let secs = self.charge_owners(rank, indices.iter().copied(), cm);
-        let batch = self
-            .data
-            .index_select0(indices)
-            .expect("indices validated by charge_owners");
-        (batch, secs)
+        let mut secs = self.charge_owners(rank, indices.iter().copied(), cm);
+        let (batch, io_bytes) = self.store.gather_rows_quoted(indices);
+        if io_bytes > 0 {
+            secs += cm.pfs_read(io_bytes, 1.0);
+        }
+        (self.transcode_gather(rank, indices, batch), secs)
     }
 
     /// Gather `indices` rows for `rank`, charging the modeled fetch time to
@@ -202,22 +315,23 @@ impl DistributedArray {
 
     /// Read a contiguous row range (a partition plus its halo in the
     /// generalized mode): one modeled message per remote owner touched,
-    /// returning a zero-copy view plus the modeled seconds **without**
-    /// charging any clock — bytes land on the ledger immediately, but the
-    /// caller decides whether the time is paid synchronously or overlapped
-    /// with compute (the engine's setup prefetch).
+    /// returning the rows plus the modeled seconds **without** charging any
+    /// clock — bytes land on the ledger immediately, but the caller decides
+    /// whether the time is paid synchronously or overlapped with compute
+    /// (the engine's setup prefetch). Under the in-memory backend and the
+    /// lossless codec the returned tensor is a zero-copy view.
     pub fn fetch_range_quoted(
         &self,
         rank: usize,
         range: Range<usize>,
         cm: &CostModel,
     ) -> (Tensor, f64) {
-        let secs = self.charge_owners(rank, range.clone(), cm);
-        let view = self
-            .data
-            .narrow(0, range.start, range.len())
-            .expect("range validated by charge_owners");
-        (view, secs)
+        let mut secs = self.charge_owners(rank, range.clone(), cm);
+        let (view, io_bytes) = self.store.read_rows_quoted(range.clone());
+        if io_bytes > 0 {
+            secs += cm.pfs_read(io_bytes, 1.0);
+        }
+        (self.transcode_range(rank, &range, view), secs)
     }
 
     /// Read a contiguous row range, charging the modeled fetch time to
@@ -240,10 +354,25 @@ impl DistributedArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use st_data::storage::{ChunkedSpec, StorageSpec};
 
     fn arr(rows: usize, world: usize, policy: PartitionPolicy) -> Arc<DistributedArray> {
         let t = Tensor::from_vec((0..rows * 3).map(|v| v as f32).collect(), [rows, 3]).unwrap();
         DistributedArray::with_policy(t, world, ClusterTopology::polaris(), 4, policy)
+    }
+
+    fn chunked_arr(rows: usize, world: usize, chunk: usize) -> Arc<DistributedArray> {
+        let t = Tensor::from_vec((0..rows * 3).map(|v| v as f32).collect(), [rows, 3]).unwrap();
+        let store =
+            SignalStorage::InMemory(t).rechunk(StorageSpec::Chunked(ChunkedSpec::new(chunk)));
+        DistributedArray::with_storage(
+            store,
+            world,
+            ClusterTopology::polaris(),
+            4,
+            PartitionPolicy::Contiguous,
+            WireCodec::Lossless,
+        )
     }
 
     #[test]
@@ -314,6 +443,127 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    // --- chunk-boundary coverage for contiguous row-range reads ---
+
+    #[test]
+    fn range_straddling_two_chunks() {
+        let a = chunked_arr(20, 2, 8); // chunks: 0..8, 8..16, 16..20
+        let cm = CostModel::polaris();
+        let (t, secs) = a.fetch_range_quoted(0, 5..11, &cm);
+        assert_eq!(t.dims(), &[6, 3]);
+        let want: Vec<f32> = (5 * 3..11 * 3).map(|v| v as f32).collect();
+        assert_eq!(t.to_vec(), want);
+        // Two chunks decoded from disk, priced into the quote.
+        assert_eq!(a.storage().io_bytes(), 2 * 8 * 3 * 4);
+        assert!(secs > 0.0, "chunk IO must show up in the quote");
+    }
+
+    #[test]
+    fn range_equal_to_one_chunk() {
+        let a = chunked_arr(20, 1, 8);
+        let cm = CostModel::polaris();
+        let (t, _) = a.fetch_range_quoted(0, 8..16, &cm);
+        assert_eq!(t.dims(), &[8, 3]);
+        let want: Vec<f32> = (8 * 3..16 * 3).map(|v| v as f32).collect();
+        assert_eq!(t.to_vec(), want);
+        assert_eq!(a.storage().io_bytes(), 8 * 3 * 4, "exactly one chunk");
+    }
+
+    #[test]
+    fn empty_range_reads_nothing() {
+        let a = chunked_arr(20, 2, 8);
+        let cm = CostModel::polaris();
+        let (t, secs) = a.fetch_range_quoted(0, 4..4, &cm);
+        assert_eq!(t.dims(), &[0, 3]);
+        assert_eq!(secs, 0.0);
+        assert_eq!(a.storage().io_bytes(), 0);
+        assert_eq!(a.remote_bytes(), 0);
+    }
+
+    #[test]
+    fn final_ragged_chunk() {
+        let a = chunked_arr(20, 1, 8); // last chunk holds rows 16..20
+        let cm = CostModel::polaris();
+        let (t, _) = a.fetch_range_quoted(0, 17..20, &cm);
+        assert_eq!(t.dims(), &[3, 3]);
+        let want: Vec<f32> = (17 * 3..20 * 3).map(|v| v as f32).collect();
+        assert_eq!(t.to_vec(), want);
+        // The ragged chunk stores only 4 rows.
+        assert_eq!(a.storage().io_bytes(), 4 * 3 * 4);
+    }
+
+    #[test]
+    fn chunked_lossless_matches_in_memory_bitwise() {
+        let rows = 26;
+        let dense = arr(rows, 3, PartitionPolicy::Contiguous);
+        let chunked = chunked_arr(rows, 3, 7);
+        let cm = CostModel::polaris();
+        for range in [0..rows, 3..19, 25..26] {
+            let (a, _) = dense.fetch_range_quoted(1, range.clone(), &cm);
+            let (b, _) = chunked.fetch_range_quoted(1, range, &cm);
+            let (av, bv) = (a.to_vec(), b.to_vec());
+            assert_eq!(av.len(), bv.len());
+            for (x, y) in av.iter().zip(&bv) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Network-ledger bytes are storage-invariant.
+        assert_eq!(dense.remote_bytes(), chunked.remote_bytes());
+    }
+
+    #[test]
+    fn f16_wire_codec_halves_ledger_bytes() {
+        let t = Tensor::from_vec((0..16 * 3).map(|v| v as f32 * 0.5).collect(), [16, 3]).unwrap();
+        let mk = |wire| {
+            DistributedArray::with_storage(
+                SignalStorage::InMemory(t.clone()),
+                4,
+                ClusterTopology::polaris(),
+                4,
+                PartitionPolicy::Contiguous,
+                wire,
+            )
+        };
+        let raw = mk(WireCodec::Lossless);
+        let f16 = mk(WireCodec::F16);
+        let cm = CostModel::polaris();
+        let ids: Vec<usize> = (8..16).collect(); // all remote for rank 0
+        let (exact, _) = raw.fetch_rows_quoted(0, &ids, &cm);
+        let (coded, _) = f16.fetch_rows_quoted(0, &ids, &cm);
+        assert_eq!(f16.remote_bytes() * 2, raw.remote_bytes());
+        // Values really pass through the codec (but stay close).
+        for (a, b) in coded.to_vec().iter().zip(exact.to_vec().iter()) {
+            assert!((a - b).abs() <= b.abs() / 2048.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lossy_codec_leaves_local_rows_exact() {
+        let t = Tensor::from_vec((0..12 * 3).map(|v| v as f32 + 0.1).collect(), [12, 3]).unwrap();
+        let a = DistributedArray::with_storage(
+            SignalStorage::InMemory(t.clone()),
+            2,
+            ClusterTopology::polaris(),
+            4,
+            PartitionPolicy::Contiguous,
+            WireCodec::DeltaI8,
+        );
+        let cm = CostModel::polaris();
+        // Rank 0 owns 0..6: a straddling range keeps local rows bit-exact.
+        let (got, _) = a.fetch_range_quoted(0, 2..9, &cm);
+        let got = got.to_vec();
+        let want = t.to_vec();
+        for r in 2..6 {
+            for c in 0..3 {
+                assert_eq!(
+                    got[(r - 2) * 3 + c].to_bits(),
+                    want[r * 3 + c].to_bits(),
+                    "local row {r} must not be transcoded"
+                );
             }
         }
     }

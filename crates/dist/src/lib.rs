@@ -28,6 +28,9 @@
 //! - [`staleness`] — [`staleness::StalenessWindow`]: the bounded-staleness
 //!   window over in-flight gradient collectives (apply-at-arrival with a
 //!   hard fence at age `s`; `s = 0` is the synchronous path).
+//! - [`wire`] — [`wire::WireCodec`]: optional compression of data-plane
+//!   payloads (f16 / entry-axis-delta i8), honestly transcoded and
+//!   ledger-accounted; lossless by default.
 
 pub mod datasvc;
 pub mod ddp;
@@ -36,6 +39,7 @@ pub mod prefetch;
 pub mod shuffle;
 pub mod staleness;
 pub mod topology;
+pub mod wire;
 
 pub use datasvc::{DistributedArray, PartitionPolicy};
 pub use ddp::{DdpContext, GradBuckets, DEFAULT_GRAD_BUCKET_BYTES};
@@ -44,3 +48,4 @@ pub use prefetch::Prefetcher;
 pub use shuffle::ShuffleStrategy;
 pub use staleness::StalenessWindow;
 pub use topology::ClusterTopology;
+pub use wire::WireCodec;

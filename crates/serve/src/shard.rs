@@ -224,6 +224,25 @@ impl BatchedServer {
         server
     }
 
+    /// [`BatchedServer::with_history`] over a
+    /// [`st_data::SignalStorage`] backend: an out-of-core training copy
+    /// seeds the ring by streaming only its final `capacity` rows, so
+    /// deployment never materializes the dense history.
+    pub fn with_storage_history(
+        snapshot: ModelSnapshot,
+        adjacency: Adjacency,
+        history: &st_data::SignalStorage,
+        cfg: ServeConfig,
+    ) -> Self {
+        let mut server = BatchedServer::new(snapshot, adjacency, cfg);
+        server.window = RollingWindow::from_storage_history(
+            history,
+            server.cfg.capacity,
+            server.snapshot.scaler.clone(),
+        );
+        server
+    }
+
     /// Admit one reading in original units (`[N, F]`); it is standardized
     /// with the snapshot's scaler on entry.
     pub fn admit(&mut self, reading: &Tensor) {

@@ -14,6 +14,7 @@
 //! (a wrap-around window in a single-copy ring would need a gather).
 
 use st_data::scaler::StandardScaler;
+use st_data::storage::{RowStore, SignalStorage};
 use st_tensor::Tensor;
 
 /// A rolling, standardized `[E, N, F]` signal buffer with zero-copy window
@@ -59,6 +60,35 @@ impl RollingWindow {
         let src = rows.as_slice().expect("contiguous");
         let row = w.nodes * w.features;
         for t in 0..history.dim(0) {
+            w.admit_standardized(&src[t * row..(t + 1) * row]);
+        }
+        w
+    }
+
+    /// [`RollingWindow::from_standardized_history`] over a
+    /// [`SignalStorage`] backend: only the final `capacity` rows are ever
+    /// read (earlier rows would be overwritten in the ring anyway), so an
+    /// out-of-core history seeds the buffer touching at most
+    /// `ceil(capacity / chunk_entries) + 1` chunks.
+    pub fn from_storage_history(
+        history: &SignalStorage,
+        capacity: usize,
+        scaler: StandardScaler,
+    ) -> Self {
+        let dims = history.dims();
+        assert_eq!(dims.len(), 3, "history must be [E, N, F]");
+        let entries = dims[0];
+        let mut w = RollingWindow::new(capacity, dims[1], dims[2], scaler);
+        let start = entries.saturating_sub(capacity);
+        // The ring indexes rows by monotonic stream time; skipping the
+        // overwritten prefix must keep `admitted` identical to a full
+        // replay so window ids line up with training snapshot ids.
+        w.admitted = start;
+        let (rows, _) = history.read_rows_quoted(start..entries);
+        let rows = rows.contiguous();
+        let src = rows.as_slice().expect("contiguous");
+        let row = w.nodes * w.features;
+        for t in 0..(entries - start) {
             w.admit_standardized(&src[t * row..(t + 1) * row]);
         }
         w
@@ -181,6 +211,29 @@ mod tests {
             let got = w.window(end, h);
             let want = hist.narrow(0, end - h, h).unwrap();
             assert_eq!(got.to_vec(), want.to_vec(), "window ending at {end}");
+        }
+    }
+
+    #[test]
+    fn storage_history_matches_dense_history_bitwise() {
+        use st_data::storage::{ChunkedSpec, StorageSpec};
+        let hist = arange_rows(37, 3, 2);
+        let dense = RollingWindow::from_standardized_history(&hist, 10, StandardScaler::identity());
+        for chunk in [1usize, 4, 7, 64] {
+            let store = SignalStorage::from_tensor_spec(
+                hist.clone(),
+                StorageSpec::Chunked(ChunkedSpec::new(chunk)),
+            );
+            let w = RollingWindow::from_storage_history(&store, 10, StandardScaler::identity());
+            assert_eq!(w.len(), dense.len(), "chunk {chunk}");
+            assert_eq!(
+                w.buf.to_vec(),
+                dense.buf.to_vec(),
+                "ring contents, chunk {chunk}"
+            );
+            let got = w.window(37, 6);
+            let want = hist.narrow(0, 31, 6).unwrap();
+            assert_eq!(got.to_vec(), want.to_vec());
         }
     }
 

@@ -18,6 +18,7 @@
 //!   patterns recommended for HPC Rust.
 
 pub mod backend;
+pub mod half;
 pub mod ops;
 pub mod par;
 pub mod random;

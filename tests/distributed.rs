@@ -194,7 +194,7 @@ fn distributed_checkpoint_resume_is_bit_identical() {
         engine::run(
             &cfg,
             opts,
-            |rank, _cm| LocalCopyPlane::new(&sig, &cfg, rank),
+            |rank, cm| LocalCopyPlane::new(&sig, &cfg, rank, cm),
             |plane: &LocalCopyPlane| factory(plane.dataset()),
         )
         .expect("checkpoint round-trips")
