@@ -15,11 +15,16 @@
 //! Training uses [`PgtDcrnn::forward_dynamic`], which swaps the diffusion
 //! operators per step while sharing gate weights across time.
 
+use std::sync::Arc;
+
 use st_data::dynamic::DynamicGraphTemporalSignal;
 use st_data::preprocess::num_snapshots;
 use st_data::scaler::StandardScaler;
 use st_data::splits::{SplitIndices, SplitRatios};
 use st_data::storage::{RowStore, SignalStorage, StorageSpec};
+use st_graph::partition::incremental::{
+    GraphDelta, IncrementalConfig, IncrementalPartitioner, RepartitionPolicy, SparseGraph,
+};
 use st_graph::{diffusion_supports, HaloCostModel, PartitionerKind, Partitioning};
 use st_models::{ModelConfig, PgtDcrnn, Support};
 use st_tensor::Tensor;
@@ -228,8 +233,10 @@ impl DynamicIndexDataset {
 pub struct TimelinePartition {
     /// First time entry this partitioning covers.
     pub start_entry: usize,
-    /// The partitioning of the graph as of `start_entry`.
-    pub partitioning: Partitioning,
+    /// The partitioning of the graph as of `start_entry`. `Arc`'d so
+    /// segments whose repair moved nothing *share* one allocation instead
+    /// of cloning a full assignment per mutation.
+    pub partitioning: Arc<Partitioning>,
     /// Modeled halo bytes of this segment's split under the run's
     /// [`HaloCostModel`] — what a partition-parallel consumer would pay
     /// per boundary while this topology holds.
@@ -242,25 +249,87 @@ pub struct TimelinePartition {
 /// triggers a re-partition — static stretches reuse the segment's split,
 /// exactly as the per-entry diffusion supports are shared by every window
 /// touching an entry.
+///
+/// This is the legacy [`RepartitionPolicy::Full`] path of
+/// [`partition_timeline_with`]: every mutation runs the partitioner from
+/// scratch.
 pub fn partition_timeline(
     signal: &DynamicGraphTemporalSignal,
     k: usize,
     kind: PartitionerKind,
     horizon: usize,
 ) -> Vec<TimelinePartition> {
+    partition_timeline_with(signal, k, kind, horizon, RepartitionPolicy::Full)
+}
+
+/// [`partition_timeline`] with an explicit [`RepartitionPolicy`].
+///
+/// Mutation detection is O(1) per entry for frozen stretches: consecutive
+/// adjacencies are compared via [`st_graph::Adjacency::same_topology`]
+/// (shared-buffer pointer equality, then a cached fingerprint) instead of
+/// the historical full weight-array scan.
+///
+/// Under [`RepartitionPolicy::Incremental`], entry 0 still runs the
+/// configured partitioner from scratch; every later mutation is turned
+/// into a [`GraphDelta`] and *repaired* by an [`IncrementalPartitioner`]
+/// (dirty-boundary refinement, drift-bounded fallback) instead of
+/// re-running the full solve. Segments whose repair changed no assignment
+/// share the previous segment's `Arc<Partitioning>`.
+pub fn partition_timeline_with(
+    signal: &DynamicGraphTemporalSignal,
+    k: usize,
+    kind: PartitionerKind,
+    horizon: usize,
+    policy: RepartitionPolicy,
+) -> Vec<TimelinePartition> {
     assert!(k > 0, "need at least one part");
     let cost = HaloCostModel::new(horizon.max(1), signal.data.dim(2));
     let mut segments: Vec<TimelinePartition> = Vec::new();
+    let mut inc: Option<IncrementalPartitioner> = None;
     for (t, adj) in signal.adjacencies.iter().enumerate() {
-        let mutated = t == 0 || adj.weights() != signal.adjacencies[t - 1].weights();
-        if mutated {
-            let partitioning = kind.partition(adj, None, k, horizon);
-            let halo_bytes = cost.halo_bytes(adj, &partitioning);
-            segments.push(TimelinePartition {
-                start_entry: t,
-                partitioning,
-                halo_bytes,
-            });
+        let mutated = t == 0 || !adj.same_topology(&signal.adjacencies[t - 1]);
+        if !mutated {
+            continue;
+        }
+        match (policy, inc.as_mut()) {
+            (RepartitionPolicy::Full, _) => {
+                let partitioning = kind.partition(adj, None, k, horizon);
+                let halo_bytes = cost.halo_bytes(adj, &partitioning);
+                segments.push(TimelinePartition {
+                    start_entry: t,
+                    partitioning: Arc::new(partitioning),
+                    halo_bytes,
+                });
+            }
+            (RepartitionPolicy::Incremental { .. }, None) => {
+                let partitioning = kind.partition(adj, None, k, horizon);
+                let ip = IncrementalPartitioner::seed(
+                    SparseGraph::from_adjacency(adj),
+                    &partitioning,
+                    IncrementalConfig::from_policy(policy, cost),
+                );
+                segments.push(TimelinePartition {
+                    start_entry: t,
+                    halo_bytes: ip.halo_bytes(),
+                    partitioning: Arc::new(partitioning),
+                });
+                inc = Some(ip);
+            }
+            (RepartitionPolicy::Incremental { .. }, Some(ip)) => {
+                let delta = GraphDelta::between(&signal.adjacencies[t - 1], adj);
+                let stats = ip.apply_delta(&delta);
+                let prev = segments.last().expect("seeded at the first mutation");
+                let partitioning = if stats.moves == 0 && !stats.rebuilt {
+                    Arc::clone(&prev.partitioning)
+                } else {
+                    Arc::new(ip.partitioning())
+                };
+                segments.push(TimelinePartition {
+                    start_entry: t,
+                    partitioning,
+                    halo_bytes: stats.halo_bytes,
+                });
+            }
         }
     }
     segments
@@ -290,6 +359,14 @@ pub struct DynamicTrainConfig {
     /// ([`StorageSpec::Chunked`] streams windows from disk through a
     /// bounded cache).
     pub storage: StorageSpec,
+    /// The partitioner the timeline runs at entry 0 and (under
+    /// [`RepartitionPolicy::Full`]) at every mutation.
+    pub partitioner: PartitionerKind,
+    /// How the timeline reacts to graph mutations: re-solve from scratch
+    /// ([`RepartitionPolicy::Full`], the bit-identical legacy path) or
+    /// repair the previous split around the dirty boundary
+    /// ([`RepartitionPolicy::Incremental`]).
+    pub repartition: RepartitionPolicy,
 }
 
 impl Default for DynamicTrainConfig {
@@ -303,6 +380,8 @@ impl Default for DynamicTrainConfig {
             grad_clip: Some(5.0),
             parts: 1,
             storage: StorageSpec::InMemory,
+            partitioner: PartitionerKind::Multilevel,
+            repartition: RepartitionPolicy::Full,
         }
     }
 }
@@ -384,7 +463,7 @@ impl DynamicPlane {
             .iter()
             .rev()
             .find(|s| s.start_entry <= entry)
-            .map(|s| &s.partitioning)
+            .map(|s| s.partitioning.as_ref())
     }
 }
 
@@ -467,7 +546,7 @@ pub fn train_dynamic(
     // `parts = 1` there is nothing to split and nothing to price — skip
     // the per-entry adjacency scans entirely.
     let timeline = if cfg.parts > 1 {
-        partition_timeline(signal, cfg.parts, dist_cfg.partitioner, horizon)
+        partition_timeline_with(signal, cfg.parts, cfg.partitioner, horizon, cfg.repartition)
     } else {
         Vec::new()
     };
@@ -588,6 +667,60 @@ mod tests {
         assert_eq!(segments.len(), 1, "static topology keeps one partition");
         assert_eq!(segments[0].start_entry, 0);
         assert!(segments[0].halo_bytes > 0, "a 2-way split cuts something");
+    }
+
+    #[test]
+    fn incremental_timeline_matches_segment_structure_and_shares_arcs() {
+        let sig = synthetic_dynamic_traffic(6, 20, 5);
+        let full = partition_timeline(&sig, 2, PartitionerKind::Multilevel, 4);
+        let inc = partition_timeline_with(
+            &sig,
+            2,
+            PartitionerKind::Multilevel,
+            4,
+            RepartitionPolicy::incremental(),
+        );
+        // Same mutation boundaries; entry 0 is the same dense solve.
+        assert_eq!(inc.len(), full.len());
+        assert_eq!(
+            inc[0].partitioning.assignment(),
+            full[0].partitioning.assignment(),
+            "entry 0 seeds from the configured partitioner"
+        );
+        for (a, b) in inc.iter().zip(&full) {
+            assert_eq!(a.start_entry, b.start_entry);
+            assert_eq!(a.partitioning.num_parts(), 2);
+            assert_eq!(a.partitioning.part_sizes().iter().sum::<usize>(), 6);
+        }
+        // Weight-only churn moves nothing on this tiny corridor, so the
+        // repaired segments share the seed's allocation.
+        assert!(
+            inc.windows(2)
+                .any(|w| Arc::ptr_eq(&w[0].partitioning, &w[1].partitioning)),
+            "no-move repairs must share Arc'd partitionings"
+        );
+    }
+
+    #[test]
+    fn incremental_policy_trains_like_full() {
+        let sig = synthetic_dynamic_traffic(6, 80, 7);
+        let full_cfg = DynamicTrainConfig {
+            epochs: 2,
+            parts: 2,
+            ..Default::default()
+        };
+        let inc_cfg = DynamicTrainConfig {
+            repartition: RepartitionPolicy::incremental(),
+            ..full_cfg.clone()
+        };
+        let (_, full_stats) = train_dynamic(&sig, 4, &full_cfg);
+        let (_, inc_stats) = train_dynamic(&sig, 4, &inc_cfg);
+        // The timeline prices partition-parallel halo; the single-worker
+        // trajectory itself is identical under either policy.
+        for (f, i) in full_stats.iter().zip(&inc_stats) {
+            assert_eq!(f.train_loss, i.train_loss);
+            assert_eq!(f.val_mae, i.val_mae);
+        }
     }
 
     #[test]

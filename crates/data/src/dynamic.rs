@@ -130,6 +130,47 @@ pub fn synthetic_dynamic_traffic(
     DynamicGraphTemporalSignal::new(base, adjacencies)
 }
 
+/// Materialize a dense dynamic signal from a base adjacency plus a
+/// streamed-mutation delta chain (see `st_graph::generators::mutation_stream`).
+///
+/// Entry 0 is `base`; entry `t` applies `deltas[t-1]` on top of entry
+/// `t-1`, writing each `(u, v, w)` to both directions. Empty deltas
+/// *clone* the previous entry, so frozen stretches share one weight
+/// buffer and `partition_timeline`'s `same_topology` check is O(1) there.
+/// Dense signals have a fixed node count, so deltas must not add nodes.
+pub fn dynamic_signal_from_deltas(
+    base: &Adjacency,
+    deltas: &[st_graph::partition::incremental::GraphDelta],
+    data: Tensor,
+) -> DynamicGraphTemporalSignal {
+    assert_eq!(
+        data.dim(0),
+        deltas.len() + 1,
+        "need entries = deltas + 1 (entry 0 is the base topology)"
+    );
+    let n = base.num_nodes();
+    let mut adjacencies = Vec::with_capacity(deltas.len() + 1);
+    adjacencies.push(base.clone());
+    for delta in deltas {
+        assert_eq!(
+            delta.added_nodes, 0,
+            "dense dynamic signals have a fixed node count"
+        );
+        let prev = adjacencies.last().expect("entry 0 pushed above");
+        if delta.is_empty() {
+            adjacencies.push(prev.clone());
+            continue;
+        }
+        let mut weights = prev.weights().to_vec();
+        for &(u, v, w) in &delta.edges {
+            weights[u * n + v] = w;
+            weights[v * n + u] = w;
+        }
+        adjacencies.push(Adjacency::from_dense(n, weights));
+    }
+    DynamicGraphTemporalSignal::new(data, adjacencies)
+}
+
 fn synthetic_base_signal(
     net: &st_graph::generators::SensorNetwork,
     entries: usize,
@@ -185,6 +226,30 @@ mod tests {
         // Bigger horizon means *fewer* windows, so the layout shrinks
         // slightly — the defining contrast with eq. (1) growth.
         assert!(h12 <= h4);
+    }
+
+    #[test]
+    fn delta_signal_applies_chain_and_shares_frozen_entries() {
+        use st_graph::partition::incremental::GraphDelta;
+        let net = st_graph::generators::highway_corridor(4, 1, 1);
+        let deltas = vec![
+            GraphDelta {
+                added_nodes: 0,
+                edges: vec![(0, 3, 0.9)],
+            },
+            GraphDelta {
+                added_nodes: 0,
+                edges: vec![],
+            },
+        ];
+        let data = Tensor::zeros([3, 4, 1]);
+        let d = dynamic_signal_from_deltas(&net.adjacency, &deltas, data);
+        assert_eq!(d.entries(), 3);
+        assert_eq!(d.adjacency_at(1).weight(0, 3), 0.9);
+        assert_eq!(d.adjacency_at(1).weight(3, 0), 0.9, "both directions");
+        // The empty delta clones entry 1 — shared storage, O(1) compare.
+        assert!(d.adjacency_at(2).same_topology(d.adjacency_at(1)));
+        assert!(!d.adjacency_at(0).same_topology(d.adjacency_at(1)));
     }
 
     #[test]

@@ -5,20 +5,61 @@
 //! `w_ij = exp(-d_ij² / σ²)` and weights below a threshold `κ` are dropped —
 //! the construction introduced by DCRNN (Li et al. 2018) and reused by PGT.
 
+use std::sync::{Arc, OnceLock};
+
 use st_tensor::Tensor;
 
+/// Shared weight storage: the row-major buffer plus a lazily-computed
+/// content fingerprint used to short-circuit topology comparisons.
+#[derive(Debug)]
+struct Weights {
+    data: Vec<f32>,
+    fingerprint: OnceLock<u64>,
+}
+
+impl Weights {
+    fn new(data: Vec<f32>) -> Self {
+        Weights {
+            data,
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// FNV-1a over the raw weight bits, computed once per buffer.
+    fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &w in &self.data {
+                for b in w.to_bits().to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            h
+        })
+    }
+}
+
 /// A dense `N×N` weighted adjacency matrix.
+///
+/// Weight storage is behind an [`Arc`]: clones share the buffer, so a
+/// timeline of `T` entries that reuses one topology costs one matrix, and
+/// [`Adjacency::same_topology`] answers in O(1) for shared or
+/// already-fingerprinted buffers.
 #[derive(Debug, Clone)]
 pub struct Adjacency {
     n: usize,
-    weights: Vec<f32>,
+    weights: Arc<Weights>,
 }
 
 impl Adjacency {
     /// Build from a row-major weight buffer.
     pub fn from_dense(n: usize, weights: Vec<f32>) -> Self {
         assert_eq!(weights.len(), n * n, "adjacency must be n*n");
-        Adjacency { n, weights }
+        Adjacency {
+            n,
+            weights: Arc::new(Weights::new(weights)),
+        }
     }
 
     /// Gaussian-kernel adjacency from 2-D sensor coordinates.
@@ -53,7 +94,24 @@ impl Adjacency {
                 }
             })
             .collect();
-        Adjacency { n, weights }
+        Adjacency::from_dense(n, weights)
+    }
+
+    /// Whether two adjacencies have identical weights, cheaply.
+    ///
+    /// Checks shared storage first (`Arc` pointer equality — the common
+    /// case for frozen-topology timelines), then the cached FNV
+    /// fingerprint, and only falls back to a full buffer compare on a
+    /// fingerprint collision.
+    pub fn same_topology(&self, other: &Adjacency) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        if Arc::ptr_eq(&self.weights, &other.weights) {
+            return true;
+        }
+        self.weights.fingerprint() == other.weights.fingerprint()
+            && self.weights.data == other.weights.data
     }
 
     /// Number of graph nodes.
@@ -63,28 +121,28 @@ impl Adjacency {
 
     /// Weight of edge `i → j`.
     pub fn weight(&self, i: usize, j: usize) -> f32 {
-        self.weights[i * self.n + j]
+        self.weights.data[i * self.n + j]
     }
 
     /// Row-major weight buffer.
     pub fn weights(&self) -> &[f32] {
-        &self.weights
+        &self.weights.data
     }
 
     /// Number of non-zero directed edges.
     pub fn num_edges(&self) -> usize {
-        self.weights.iter().filter(|&&w| w != 0.0).count()
+        self.weights.data.iter().filter(|&&w| w != 0.0).count()
     }
 
     /// As a dense tensor `[N, N]`.
     pub fn to_tensor(&self) -> Tensor {
-        Tensor::from_vec(self.weights.clone(), [self.n, self.n]).expect("n*n buffer")
+        Tensor::from_vec(self.weights.data.clone(), [self.n, self.n]).expect("n*n buffer")
     }
 
     /// Out-degree (row sum) of each node.
     pub fn out_degrees(&self) -> Vec<f32> {
         (0..self.n)
-            .map(|i| self.weights[i * self.n..(i + 1) * self.n].iter().sum())
+            .map(|i| self.weights.data[i * self.n..(i + 1) * self.n].iter().sum())
             .collect()
     }
 
@@ -93,13 +151,10 @@ impl Adjacency {
         let mut w = vec![0.0f32; self.n * self.n];
         for i in 0..self.n {
             for j in 0..self.n {
-                w[j * self.n + i] = self.weights[i * self.n + j];
+                w[j * self.n + i] = self.weights.data[i * self.n + j];
             }
         }
-        Adjacency {
-            n: self.n,
-            weights: w,
-        }
+        Adjacency::from_dense(self.n, w)
     }
 
     /// Make the adjacency symmetric by averaging with its transpose.
@@ -107,11 +162,12 @@ impl Adjacency {
         let t = self.transpose();
         let weights = self
             .weights
+            .data
             .iter()
-            .zip(t.weights.iter())
+            .zip(t.weights.data.iter())
             .map(|(a, b)| 0.5 * (a + b))
             .collect();
-        Adjacency { n: self.n, weights }
+        Adjacency::from_dense(self.n, weights)
     }
 }
 
@@ -152,6 +208,22 @@ mod tests {
         let s = adj.symmetrized();
         assert_eq!(s.weight(0, 1), 1.0);
         assert_eq!(s.weight(1, 0), 1.0);
+    }
+
+    #[test]
+    fn same_topology_shares_and_compares() {
+        let a = Adjacency::from_dense(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let clone = a.clone(); // shared Arc — pointer-equality fast path
+        assert!(a.same_topology(&clone));
+        let rebuilt = Adjacency::from_dense(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(
+            a.same_topology(&rebuilt),
+            "equal contents, distinct buffers"
+        );
+        let other = Adjacency::from_dense(2, vec![1.0, 2.0, 3.0, 5.0]);
+        assert!(!a.same_topology(&other));
+        let smaller = Adjacency::from_dense(1, vec![1.0]);
+        assert!(!a.same_topology(&smaller));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! fully seeded for reproducibility.
 
 use crate::adjacency::Adjacency;
+use crate::partition::incremental::{GraphDelta, SparseGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -130,6 +131,194 @@ pub fn scale_free(n: usize, m: usize, seed: u64) -> SensorNetwork {
     }
 }
 
+/// A generated sensor network in adjacency-list form — the representation
+/// the city-scale (10⁵–10⁶ node) dynamic workloads use, where a dense
+/// `N×N` matrix would not fit in memory.
+#[derive(Debug, Clone)]
+pub struct SparseNetwork {
+    /// Sensor coordinates in an abstract 2-D plane.
+    pub coords: Vec<(f32, f32)>,
+    /// Undirected weighted adjacency lists over the coordinates.
+    pub graph: SparseGraph,
+}
+
+impl SparseNetwork {
+    /// Number of sensors.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+/// Sparse [`city_grid`]: the same jittered `rows × cols` lattice with
+/// Gaussian-kernel weights (`σ = 1`, threshold 0.2), but storing only the
+/// 4-neighbor lattice edges instead of an `N×N` matrix — city-block
+/// topology at city scale.
+pub fn city_grid_sparse(rows: usize, cols: usize, seed: u64) -> SparseNetwork {
+    assert!(rows > 0 && cols > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut coords = Vec::with_capacity(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            coords.push((
+                c as f32 + rng.gen_range(-0.15..0.15),
+                r as f32 + rng.gen_range(-0.15..0.15),
+            ));
+        }
+    }
+    let mut edges = Vec::with_capacity(2 * n);
+    let push = |edges: &mut Vec<(usize, usize, f32)>, u: usize, v: usize| {
+        let (dx, dy) = (coords[u].0 - coords[v].0, coords[u].1 - coords[v].1);
+        let w = (-(dx * dx + dy * dy)).exp();
+        if w >= 0.2 {
+            edges.push((u, v, w));
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                push(&mut edges, u, u + 1);
+            }
+            if r + 1 < rows {
+                push(&mut edges, u, u + cols);
+            }
+        }
+    }
+    let graph = SparseGraph::from_edges(n, &edges);
+    SparseNetwork { coords, graph }
+}
+
+/// Sparse [`scale_free`]: the same Barabási–Albert preferential-attachment
+/// process in adjacency-list form, viable at 10⁵–10⁶ nodes.
+pub fn scale_free_sparse(n: usize, m: usize, seed: u64) -> SparseNetwork {
+    assert!(n > m && m > 0, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * m);
+    // Seed clique over the first m+1 nodes so early attachments connect.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            edges.push((i, j, 1.0));
+        }
+    }
+    // Degree-weighted target list: node i appears once per incident edge.
+    let mut targets: Vec<usize> = (0..=m).collect();
+    for u in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let v = targets[rng.gen_range(0..targets.len())];
+            if v != u && !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for &v in &chosen {
+            edges.push((u, v, 1.0));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let coords: Vec<(f32, f32)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+        .collect();
+    let graph = SparseGraph::from_edges(n, &edges);
+    SparseNetwork { coords, graph }
+}
+
+/// How much a dynamic workload mutates per timeline entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationConfig {
+    /// Edge-churn operations per entry (each removes, reweights, or adds
+    /// one edge around a random node).
+    pub edge_churn: usize,
+    /// New nodes arriving per entry.
+    pub node_arrivals: usize,
+    /// Edges each arriving node attaches to existing nodes.
+    pub attach_edges: usize,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            edge_churn: 16,
+            node_arrivals: 0,
+            attach_edges: 2,
+        }
+    }
+}
+
+/// Generate a streamed-mutation workload: `entries - 1` seeded
+/// [`GraphDelta`]s evolving `net` one timeline entry at a time.
+///
+/// Each entry applies [`MutationConfig::edge_churn`] local operations —
+/// half remove or halve a random incident edge, half add a 2-hop shortcut
+/// (falling back to a random endpoint when no 2-hop candidate exists) —
+/// then lands [`MutationConfig::node_arrivals`] new nodes, each attaching
+/// uniformly at random. Deltas chain: delta `t` is relative to the graph
+/// after deltas `0..t` have been applied.
+pub fn mutation_stream(
+    net: &SparseNetwork,
+    entries: usize,
+    cfg: MutationConfig,
+    seed: u64,
+) -> Vec<GraphDelta> {
+    assert!(entries > 0, "a timeline has at least one entry");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = net.graph.clone();
+    let mut deltas = Vec::with_capacity(entries - 1);
+    for _ in 1..entries {
+        let mut delta = GraphDelta {
+            added_nodes: cfg.node_arrivals,
+            edges: Vec::new(),
+        };
+        for _ in 0..cfg.edge_churn {
+            let n = g.num_nodes();
+            let u = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                // Decay: remove or halve one incident edge of `u`.
+                let deg = g.degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let (v, w) = g.neighbors(u)[rng.gen_range(0..deg)];
+                let w = if rng.gen_bool(0.5) { 0.0 } else { 0.5 * w };
+                g.set_edge(u, v, w);
+                delta.edges.push((u, v, w));
+            } else {
+                // Growth: shortcut `u` to a 2-hop neighbor if one exists,
+                // otherwise to a random distinct node.
+                let two_hop = g
+                    .neighbors(u)
+                    .first()
+                    .and_then(|&(v, _)| {
+                        g.neighbors(v)
+                            .iter()
+                            .map(|&(x, _)| x)
+                            .find(|&x| x != u && g.edge_weight(u, x) == 0.0)
+                    })
+                    .or_else(|| {
+                        let x = rng.gen_range(0..n);
+                        (x != u).then_some(x)
+                    });
+                if let Some(x) = two_hop {
+                    g.set_edge(u, x, 1.0);
+                    delta.edges.push((u, x, 1.0));
+                }
+            }
+        }
+        let first_new = g.num_nodes();
+        g.add_nodes(cfg.node_arrivals);
+        for u in first_new..g.num_nodes() {
+            for _ in 0..cfg.attach_edges {
+                let v = rng.gen_range(0..first_new);
+                g.set_edge(u, v, 1.0);
+                delta.edges.push((u, v, 1.0));
+            }
+        }
+        deltas.push(delta);
+    }
+    deltas
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +382,63 @@ mod tests {
         );
         // Every node has at least m = 2 edges (attachment or seed clique).
         assert!(degrees[0] >= 2);
+    }
+
+    #[test]
+    fn sparse_grid_matches_lattice_structure() {
+        let net = city_grid_sparse(4, 5, 3);
+        assert_eq!(net.num_nodes(), 20);
+        let again = city_grid_sparse(4, 5, 3);
+        assert_eq!(net.coords, again.coords, "same seed, same grid");
+        // Interior nodes have exactly their 4 lattice neighbors.
+        assert_eq!(net.graph.degree(6), 4);
+        assert!(net.graph.edge_weight(0, 1) > 0.2, "row neighbor");
+        assert!(net.graph.edge_weight(0, 5) > 0.2, "column neighbor");
+        assert_eq!(net.graph.edge_weight(0, 6), 0.0, "no diagonal edges");
+    }
+
+    #[test]
+    fn sparse_scale_free_has_hubs_and_min_degree() {
+        let net = scale_free_sparse(300, 2, 9);
+        assert_eq!(net.num_nodes(), 300);
+        let mut degrees: Vec<usize> = (0..300).map(|i| net.graph.degree(i)).collect();
+        degrees.sort_unstable();
+        assert!(
+            degrees[299] >= 2 * degrees[150],
+            "no hub: max {} median {}",
+            degrees[299],
+            degrees[150]
+        );
+        assert!(degrees[0] >= 2, "every node attaches m = 2 edges");
+    }
+
+    #[test]
+    fn mutation_stream_is_seeded_and_chains() {
+        let net = city_grid_sparse(8, 8, 1);
+        let cfg = MutationConfig {
+            edge_churn: 6,
+            node_arrivals: 1,
+            attach_edges: 2,
+        };
+        let a = mutation_stream(&net, 5, cfg, 42);
+        let b = mutation_stream(&net, 5, cfg, 42);
+        assert_eq!(a.len(), 4, "entries - 1 deltas");
+        for (da, db) in a.iter().zip(&b) {
+            assert_eq!(da.added_nodes, db.added_nodes);
+            assert_eq!(da.edges, db.edges, "same seed, same stream");
+        }
+        // Replaying the chain keeps every edge endpoint in bounds.
+        let mut g = net.graph.clone();
+        for d in &a {
+            let before = g.num_nodes();
+            g.add_nodes(d.added_nodes);
+            for &(u, v, w) in &d.edges {
+                assert!(u < g.num_nodes() && v < g.num_nodes());
+                g.set_edge(u, v, w);
+            }
+            assert_eq!(g.num_nodes(), before + d.added_nodes);
+        }
+        assert_eq!(g.num_nodes(), 64 + 4);
     }
 
     #[test]

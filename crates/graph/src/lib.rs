@@ -35,5 +35,8 @@ pub mod transition;
 pub use adjacency::Adjacency;
 pub use csr::Csr;
 pub use generators::SensorNetwork;
-pub use partition::{HaloCostModel, MultilevelConfig, PartitionerKind, Partitioning, Subgraph};
+pub use partition::{
+    GraphDelta, HaloCostModel, IncrementalConfig, IncrementalPartitioner, MultilevelConfig,
+    PartitionerKind, Partitioning, RepartitionPolicy, SparseGraph, Subgraph,
+};
 pub use transition::{diffusion_supports, sym_norm_adjacency};

@@ -32,6 +32,13 @@ use crate::adjacency::Adjacency;
 use std::collections::VecDeque;
 use std::ops::Range;
 
+pub mod incremental;
+
+pub use incremental::{
+    GraphDelta, IncrementalConfig, IncrementalPartitioner, RepairStats, RepartitionPolicy,
+    SparseGraph,
+};
+
 /// An assignment of every graph node to one of `k` parts.
 #[derive(Debug, Clone)]
 pub struct Partitioning {
@@ -341,6 +348,18 @@ impl Partitioning {
             .collect()
     }
 
+    /// Node ids of **every** part in one O(n) pass — use this instead of
+    /// calling [`Partitioning::part_nodes`] in a loop over parts, which
+    /// rescans the assignment `k` times (O(n·k)). Each inner list is
+    /// ascending, exactly as `part_nodes` returns it (equivalence-tested).
+    pub fn nodes_by_part(&self) -> Vec<Vec<usize>> {
+        let mut by_part: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+        for (i, &p) in self.assignment.iter().enumerate() {
+            by_part[p].push(i);
+        }
+        by_part
+    }
+
     /// Sizes of every part.
     pub fn part_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.k];
@@ -397,6 +416,27 @@ impl Partitioning {
         count
     }
 
+    /// [`Partitioning::cut_neighbors`] over a [`SparseGraph`] — O(E)
+    /// instead of the dense O(n²) rescan, for city-scale graphs where the
+    /// dense adjacency is never materialized. Equivalence-tested against
+    /// the dense count on graphs that exist in both representations.
+    pub fn cut_neighbors_sparse(&self, g: &SparseGraph) -> usize {
+        assert_eq!(g.num_nodes(), self.num_nodes(), "graph/partition mismatch");
+        let mut count = 0usize;
+        let mut seen = vec![usize::MAX; self.k];
+        for v in 0..g.num_nodes() {
+            seen.iter_mut().for_each(|s| *s = usize::MAX);
+            for &(u, _) in g.neighbors(v) {
+                let p = self.assignment[u];
+                if p != self.assignment[v] && seen[p] != v {
+                    seen[p] = v;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
     /// Fraction of (weighted) edges cut by the partitioning.
     pub fn cut_fraction(&self, adj: &Adjacency) -> f64 {
         let n = adj.num_nodes();
@@ -421,23 +461,17 @@ impl Partitioning {
     /// boundary diffusion convolutions need — depth should be ≥ the model's
     /// diffusion steps K).
     pub fn subgraph(&self, adj: &Adjacency, p: usize, halo_depth: usize) -> Subgraph {
-        let owned = self.part_nodes(p);
-        let halo = halo_nodes(adj, &owned, halo_depth);
-        let mut nodes = owned.clone();
-        nodes.extend_from_slice(&halo);
-        let local_adj = induced_subgraph(adj, &nodes);
-        Subgraph {
-            part: p,
-            owned_count: owned.len(),
-            global_ids: nodes,
-            adjacency: local_adj,
-        }
+        subgraph_from_owned(adj, p, self.part_nodes(p), halo_depth)
     }
 
-    /// All `k` halo-augmented subgraphs.
+    /// All `k` halo-augmented subgraphs. Owned-node lists come from one
+    /// [`Partitioning::nodes_by_part`] pass instead of `k` full
+    /// assignment rescans.
     pub fn subgraphs(&self, adj: &Adjacency, halo_depth: usize) -> Vec<Subgraph> {
-        (0..self.k)
-            .map(|p| self.subgraph(adj, p, halo_depth))
+        self.nodes_by_part()
+            .into_iter()
+            .enumerate()
+            .map(|(p, owned)| subgraph_from_owned(adj, p, owned, halo_depth))
             .collect()
     }
 
@@ -524,6 +558,12 @@ impl HaloCostModel {
     /// `cut_neighbors × (2·horizon − 1) × row_bytes`.
     pub fn halo_bytes(&self, adj: &Adjacency, p: &Partitioning) -> u64 {
         p.cut_neighbors(adj) as u64 * self.reads_per_cut_neighbor() * self.row_bytes
+    }
+
+    /// [`HaloCostModel::halo_bytes`] over a [`SparseGraph`] — O(E), for
+    /// graphs too large to densify.
+    pub fn halo_bytes_sparse(&self, g: &SparseGraph, p: &Partitioning) -> u64 {
+        p.cut_neighbors_sparse(g) as u64 * self.reads_per_cut_neighbor() * self.row_bytes
     }
 }
 
@@ -1041,6 +1081,28 @@ pub fn halo_nodes(adj: &Adjacency, owned: &[usize], depth: usize) -> Vec<usize> 
     halo
 }
 
+/// Assemble one part's halo-augmented subgraph from its owned-node list
+/// (shared by [`Partitioning::subgraph`] and the one-pass
+/// [`Partitioning::subgraphs`]).
+fn subgraph_from_owned(
+    adj: &Adjacency,
+    p: usize,
+    owned: Vec<usize>,
+    halo_depth: usize,
+) -> Subgraph {
+    let halo = halo_nodes(adj, &owned, halo_depth);
+    let owned_count = owned.len();
+    let mut nodes = owned;
+    nodes.extend_from_slice(&halo);
+    let local_adj = induced_subgraph(adj, &nodes);
+    Subgraph {
+        part: p,
+        owned_count,
+        global_ids: nodes,
+        adjacency: local_adj,
+    }
+}
+
 /// The induced weighted adjacency over `nodes` (local indexing follows the
 /// order of `nodes`).
 pub fn induced_subgraph(adj: &Adjacency, nodes: &[usize]) -> Adjacency {
@@ -1109,6 +1171,31 @@ mod tests {
         let mut sorted = all.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nodes_by_part_matches_per_part_scans() {
+        let n = net();
+        let p = Partitioning::multilevel(&n.adjacency, 4);
+        let by_part = p.nodes_by_part();
+        assert_eq!(by_part.len(), 4);
+        for (k, owned) in by_part.iter().enumerate() {
+            assert_eq!(owned, &p.part_nodes(k), "one-pass grouping, part {k}");
+        }
+    }
+
+    #[test]
+    fn cut_neighbors_sparse_matches_dense_scan() {
+        let n = net();
+        let g = SparseGraph::from_adjacency(&n.adjacency);
+        for k in [2, 3, 5] {
+            let p = Partitioning::multilevel(&n.adjacency, k);
+            assert_eq!(
+                p.cut_neighbors_sparse(&g),
+                p.cut_neighbors(&n.adjacency),
+                "k = {k}"
+            );
+        }
     }
 
     #[test]
