@@ -133,6 +133,22 @@ impl CostModel {
         bytes as f64 / self.pfs_read_bw * jitter.max(0.1)
     }
 
+    /// Modeled `(fetch, compute)` seconds for one serving micro-batch:
+    /// a cross-shard halo read of `halo_bytes` (zero bytes cost zero — an
+    /// unsharded deployment never touches the network) followed by a
+    /// batched forward of `flops`. The serving scheduler prices admission
+    /// decisions and the shard executor prices its deadline streams with
+    /// the **same** call, so a request is shed exactly when the model that
+    /// will serve it says its SLO cannot be met.
+    pub fn micro_batch_secs(&self, halo_bytes: u64, flops: f64) -> (f64, f64) {
+        let fetch = if halo_bytes > 0 {
+            self.remote_fetch(halo_bytes, false)
+        } else {
+            0.0
+        };
+        (fetch, flops / self.gpu_flops)
+    }
+
     /// Per-rank straggler compute multiplier under a linear skew ramp:
     /// rank 0 stays at 1.0 and the last rank runs `1 + skew` slower, with
     /// the ranks between on the line — the deterministic stand-in for the
@@ -203,6 +219,17 @@ mod tests {
         assert!((cm.straggler_scale(1, 4, 0.3) - 1.1).abs() < 1e-12);
         assert_eq!(cm.straggler_scale(0, 1, 0.5), 1.0, "world of one");
         assert_eq!(cm.straggler_scale(2, 4, 0.0), 1.0, "no skew, no ramp");
+    }
+
+    #[test]
+    fn micro_batch_pricing_matches_its_parts() {
+        let cm = CostModel::polaris();
+        let (fetch, compute) = cm.micro_batch_secs(1 << 20, 2.0e9);
+        assert_eq!(fetch, cm.remote_fetch(1 << 20, false));
+        assert_eq!(compute, 2.0e9 / cm.gpu_flops);
+        // No halo bytes ⇒ no fetch term at all (not even message latency).
+        let (fetch0, _) = cm.micro_batch_secs(0, 1.0e9);
+        assert_eq!(fetch0, 0.0);
     }
 
     #[test]

@@ -28,6 +28,24 @@
 //! the trainer's own evaluation forward pass, and the integration tests
 //! pin exactly that.
 //!
+//! The production serving plane wraps the core in three layers
+//! (DESIGN.md §11):
+//!
+//! - **Live ingest** ([`ingest::StreamIngest`]): per-node tick streams
+//!   staged behind per-node watermarks; a row enters the ring only once
+//!   every node has delivered it, so servability is monotone and a query
+//!   whose window outruns ingest gets a typed
+//!   [`error::ServeError::NotYetServable`].
+//! - **SLO admission control** ([`slo::admit_and_coalesce`]): the
+//!   micro-batch queue gains a bounded depth and a deadline gate priced
+//!   through the same [`st_device::CostModel`] deadline streams the shard
+//!   executor replays — overload sheds typed [`slo::Shed`] rejections
+//!   instead of letting tail latency grow without bound.
+//! - **Multi-tenant hot-swap** ([`registry::SnapshotRegistry`]): many
+//!   deployments per process behind atomic `Arc` swaps; a retrained
+//!   snapshot hot-reloads with its forwards pinned bit-identical to a
+//!   cold deploy.
+//!
 //! ## Deploying a snapshot in one example
 //!
 //! ```
@@ -62,12 +80,22 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
+pub mod ingest;
 pub mod queue;
+pub mod registry;
 pub mod shard;
+pub mod slo;
 pub mod snapshot;
 pub mod window;
 
+pub use error::ServeError;
+pub use ingest::{IngestError, StreamIngest, Tick};
 pub use queue::{coalesce, MicroBatch, PendingRequest, QueueConfig};
-pub use shard::{BatchedServer, Query, QueryResult, ServeConfig, ServeReport};
+pub use registry::SnapshotRegistry;
+pub use shard::{
+    BatchedServer, Query, QueryResult, Rejection, ServeConfig, ServeReport, ShardStats,
+};
+pub use slo::{admit_and_coalesce, BatchCost, Shed, ShedReason, SloConfig, SloSchedule};
 pub use snapshot::{ModelSnapshot, SnapshotError};
 pub use window::RollingWindow;

@@ -13,6 +13,7 @@
 //! the ring's write head sits, which is what keeps window reads zero-copy
 //! (a wrap-around window in a single-copy ring would need a gather).
 
+use crate::error::ServeError;
 use st_data::scaler::StandardScaler;
 use st_data::storage::{RowStore, SignalStorage};
 use st_tensor::Tensor;
@@ -149,45 +150,93 @@ impl RollingWindow {
         &self.scaler
     }
 
+    /// Oldest stream row the ring still retains (rows before it were
+    /// evicted by newer admissions).
+    pub fn oldest_retained(&self) -> usize {
+        self.admitted.saturating_sub(self.cap)
+    }
+
+    /// Classify the window `[end − h, end)`: `Ok(())` when it is fully
+    /// buffered, otherwise the **typed** reason it is not —
+    /// [`ServeError::WindowEvicted`] when live ingest already overwrote
+    /// part of it (or it reaches before stream time 0),
+    /// [`ServeError::NotYetServable`] when some node it reads has not
+    /// passed its watermark, and [`ServeError::BadHorizon`] when no ingest
+    /// state could ever satisfy it.
+    pub fn window_status(&self, end: usize, h: usize) -> Result<(), ServeError> {
+        if h == 0 || h > self.cap {
+            return Err(ServeError::BadHorizon {
+                horizon: h,
+                capacity: self.cap,
+            });
+        }
+        if end > self.admitted {
+            return Err(ServeError::NotYetServable {
+                window_end: end,
+                admitted: self.admitted,
+            });
+        }
+        if end < h || end - h < self.oldest_retained() {
+            return Err(ServeError::WindowEvicted {
+                window_end: end,
+                horizon: h,
+                oldest_retained: self.oldest_retained(),
+            });
+        }
+        Ok(())
+    }
+
     /// True when the window `[end − h, end)` is still fully buffered.
     pub fn contains_window(&self, end: usize, h: usize) -> bool {
-        h >= 1
-            && h <= self.cap
-            && end >= h
-            && end <= self.admitted
-            && end - h + self.cap >= self.admitted
+        self.window_status(end, h).is_ok()
     }
 
     /// The standardized window `[end − h, end)` as a **zero-copy**
-    /// `[h, N, F]` view of the ring. `end` is exclusive stream time;
-    /// panics if the window was evicted or never admitted.
-    pub fn window(&self, end: usize, h: usize) -> Tensor {
-        assert!(
-            self.contains_window(end, h),
-            "window [{}, {end}) not buffered (admitted {}, capacity {})",
-            end.saturating_sub(h),
-            self.admitted,
-            self.cap
-        );
+    /// `[h, N, F]` view of the ring. `end` is exclusive stream time; a
+    /// window that was evicted, never admitted, or malformed comes back as
+    /// the typed [`ServeError`] — never a panic (an out-of-range view was
+    /// reachable here once live ingest started evicting rows).
+    pub fn window(&self, end: usize, h: usize) -> Result<Tensor, ServeError> {
+        self.window_status(end, h)?;
         let start = (end - h) % self.cap;
-        self.buf.narrow(0, start, h).expect("doubled ring in range")
+        Ok(self.buf.narrow(0, start, h).expect("doubled ring in range"))
     }
 
     /// Assemble `[B, h, N, F]` from window end times — the serving twin of
-    /// `IndexDataset::batch` (one contiguous memcpy per window).
-    pub fn batch(&self, ends: &[usize], h: usize) -> Tensor {
+    /// `IndexDataset::batch` (one contiguous memcpy per window). Fails
+    /// with the first offending window's typed status.
+    pub fn batch(&self, ends: &[usize], h: usize) -> Result<Tensor, ServeError> {
         let stride = self.nodes * self.features;
         let mut out = Vec::with_capacity(ends.len() * h * stride);
         let src = self.buf.as_slice().expect("ring is contiguous");
         for &end in ends {
-            assert!(
-                self.contains_window(end, h),
-                "window ending at {end} not buffered"
-            );
+            self.window_status(end, h)?;
             let start = ((end - h) % self.cap) * stride;
             out.extend_from_slice(&src[start..start + h * stride]);
         }
-        Tensor::from_vec(out, [ends.len(), h, self.nodes, self.features]).expect("batch numel")
+        Ok(Tensor::from_vec(out, [ends.len(), h, self.nodes, self.features]).expect("batch numel"))
+    }
+
+    /// Assert the structural ring invariants — every retained row is
+    /// stored **twice** (slots `t % cap` and `t % cap + cap` hold
+    /// bit-identical copies, the property that keeps wrap-around windows
+    /// contiguous) and every retained window agrees with
+    /// [`RollingWindow::window_status`]. The ingest proptests drive this
+    /// after arbitrary tick interleavings; it is cheap enough to call in
+    /// debug assertions.
+    pub fn assert_ring_invariants(&self) {
+        let stride = self.nodes * self.features;
+        let src = self.buf.as_slice().expect("ring is contiguous");
+        let filled = self.admitted.min(self.cap);
+        for t in self.admitted - filled..self.admitted {
+            let slot = t % self.cap;
+            let lo = &src[slot * stride..(slot + 1) * stride];
+            let hi = &src[(slot + self.cap) * stride..(slot + self.cap + 1) * stride];
+            assert!(
+                lo.iter().zip(hi).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "doubled-row contiguity broken at stream row {t} (slot {slot})"
+            );
+        }
     }
 }
 
@@ -208,10 +257,11 @@ mod tests {
         // including ones that straddle the ring's wrap point.
         for end in [50usize, 47, 40, 50 - 16 + 4] {
             let h = 4;
-            let got = w.window(end, h);
+            let got = w.window(end, h).unwrap();
             let want = hist.narrow(0, end - h, h).unwrap();
             assert_eq!(got.to_vec(), want.to_vec(), "window ending at {end}");
         }
+        w.assert_ring_invariants();
     }
 
     #[test]
@@ -231,7 +281,7 @@ mod tests {
                 dense.buf.to_vec(),
                 "ring contents, chunk {chunk}"
             );
-            let got = w.window(37, 6);
+            let got = w.window(37, 6).unwrap();
             let want = hist.narrow(0, 31, 6).unwrap();
             assert_eq!(got.to_vec(), want.to_vec());
         }
@@ -241,9 +291,9 @@ mod tests {
     fn window_views_are_zero_copy() {
         let hist = arange_rows(20, 2, 1);
         let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
-        let v = w.window(20, 5);
+        let v = w.window(20, 5).unwrap();
         assert!(v.shares_storage(&w.buf), "window must alias the ring");
-        let v2 = w.window(17, 3);
+        let v2 = w.window(17, 3).unwrap();
         assert!(v2.shares_storage(&v));
     }
 
@@ -252,12 +302,12 @@ mod tests {
         let hist = arange_rows(30, 2, 2);
         let w = RollingWindow::from_standardized_history(&hist, 12, StandardScaler::identity());
         let ends = [30usize, 25, 22];
-        let b = w.batch(&ends, 3);
+        let b = w.batch(&ends, 3).unwrap();
         assert_eq!(b.dims(), &[3, 3, 2, 2]);
         for (row, &end) in ends.iter().enumerate() {
             assert_eq!(
                 b.select(0, row).unwrap().to_vec(),
-                w.window(end, 3).to_vec()
+                w.window(end, 3).unwrap().to_vec()
             );
         }
     }
@@ -267,25 +317,67 @@ mod tests {
         let scaler = StandardScaler::from_feature_stats(vec![(10.0, 2.0)]);
         let mut w = RollingWindow::new(4, 2, 1, scaler);
         w.admit(&Tensor::from_vec(vec![12.0, 8.0], [2, 1]).unwrap());
-        let v = w.window(1, 1);
+        let v = w.window(1, 1).unwrap();
         assert_eq!(v.to_vec(), vec![1.0, -1.0]); // (x - 10) / 2
     }
 
     #[test]
-    #[should_panic(expected = "not buffered")]
-    fn evicted_windows_are_rejected() {
+    fn evicted_windows_come_back_typed() {
         let hist = arange_rows(20, 1, 1);
         let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
-        // Rows [2, 6) fell out of the 8-row ring long ago.
-        w.window(6, 4);
+        // Rows [2, 6) fell out of the 8-row ring long ago — a typed
+        // eviction, never a panic or an out-of-range view.
+        assert_eq!(
+            w.window(6, 4).unwrap_err(),
+            ServeError::WindowEvicted {
+                window_end: 6,
+                horizon: 4,
+                oldest_retained: 12
+            }
+        );
+        // A batch fails on its first evicted member.
+        assert!(matches!(
+            w.batch(&[20, 6], 4).unwrap_err(),
+            ServeError::WindowEvicted { window_end: 6, .. }
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "not buffered")]
-    fn future_windows_are_rejected() {
+    fn future_windows_come_back_typed() {
         let hist = arange_rows(10, 1, 1);
         let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
-        w.window(11, 4);
+        assert_eq!(
+            w.window(11, 4).unwrap_err(),
+            ServeError::NotYetServable {
+                window_end: 11,
+                admitted: 10
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_horizons_come_back_typed() {
+        let hist = arange_rows(10, 1, 1);
+        let w = RollingWindow::from_standardized_history(&hist, 8, StandardScaler::identity());
+        assert_eq!(
+            w.window(10, 0).unwrap_err(),
+            ServeError::BadHorizon {
+                horizon: 0,
+                capacity: 8
+            }
+        );
+        assert_eq!(
+            w.window(10, 9).unwrap_err(),
+            ServeError::BadHorizon {
+                horizon: 9,
+                capacity: 8
+            }
+        );
+        // A window reaching before stream time 0 never existed: eviction.
+        assert!(matches!(
+            w.window(3, 4).unwrap_err(),
+            ServeError::WindowEvicted { .. }
+        ));
     }
 
     #[test]

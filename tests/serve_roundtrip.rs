@@ -15,7 +15,9 @@ use pgt_i::data::splits::SplitRatios;
 use pgt_i::data::synthetic;
 use pgt_i::graph::diffusion_supports;
 use pgt_i::models::{ModelConfig, PgtDcrnn, Seq2Seq, Support};
-use pgt_i::serve::{BatchedServer, ModelSnapshot, Query, QueueConfig, ServeConfig};
+use pgt_i::serve::{
+    BatchedServer, ModelSnapshot, Query, QueueConfig, ServeConfig, SnapshotRegistry,
+};
 use pgt_i::tensor::ops as t;
 
 const HORIZON: usize = 4;
@@ -92,7 +94,9 @@ fn snapshot_serving_is_bit_identical_to_trainer_evaluate_single_rank() {
     for chunk in ids.chunks(batch) {
         let (x, y) = ds.batch(chunk);
         let ends: Vec<usize> = chunk.iter().map(|&i| i + HORIZON).collect();
-        let served = server.predict_windows_with(&replica, &ends);
+        let served = server
+            .predict_windows_with(&replica, &ends)
+            .expect("val windows are buffered");
 
         // The served input windows and forward values are bitwise the
         // trainer's.
@@ -129,7 +133,15 @@ fn snapshot_serving_is_bit_identical_on_two_shards() {
         max_batch: 4,
         max_delay_secs: 1e-3,
     };
-    let server = BatchedServer::with_history(loaded, adjacency, ds.data(), cfg);
+    // Deployment goes through the production path: a named tenant in the
+    // process-wide registry, served via the registry's lookup.
+    let registry = SnapshotRegistry::new();
+    registry
+        .register(
+            "corridor",
+            BatchedServer::with_history(loaded, adjacency, ds.data(), cfg),
+        )
+        .expect("fresh tenant name");
 
     // Every node × a spread of val windows, served through the partitioned
     // micro-batching path.
@@ -148,8 +160,11 @@ fn snapshot_serving_is_bit_identical_on_two_shards() {
             })
         })
         .collect();
-    let report = server.serve(&queries);
+    let report = registry
+        .serve("corridor", &queries)
+        .expect("tenant is registered");
     assert_eq!(report.results.len(), queries.len());
+    assert!(report.rejections.is_empty(), "all val windows are buffered");
     assert!(report.halo_bytes > 0, "two shards must exchange halo rows");
 
     // Each served forecast is bitwise the trainer-side forward for that
@@ -200,7 +215,9 @@ fn engine_checkpoint_feeds_the_snapshot_path() {
     for chunk in ids.chunks(trainer.config().batch_size) {
         let (_, y) = ds.batch(chunk);
         let ends: Vec<usize> = chunk.iter().map(|&i| i + HORIZON).collect();
-        let served = server.predict_windows_with(&replica, &ends);
+        let served = server
+            .predict_windows_with(&replica, &ends)
+            .expect("val windows are buffered");
         let target = y.narrow(3, 0, 1).expect("target channel").contiguous();
         let diff = t::sub(&served, &target).expect("same shape");
         abs_sum += t::sum_abs(&diff);
